@@ -1,0 +1,28 @@
+"""A2: cost-function / heuristic ablation (paper Section 4.4).
+
+Swaps RT-SADS's load-balancing cost function ``CE`` for the
+earliest-finish heuristic, a min-slack heuristic, and no heuristic at all,
+holding everything else fixed.  The paper credits ``CE`` with
+simultaneously balancing load and avoiding communication.
+"""
+
+from conftest import bench_config
+
+from repro.experiments import ablation_cost
+
+
+def test_cost_function_ablation(benchmark):
+    config = bench_config()
+    result = benchmark.pedantic(
+        lambda: ablation_cost(config), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+    by_label = {row[0]: row for row in result.rows}
+    load_balancing = by_label["load_balancing"]
+    fifo = by_label["fifo"]
+    # The informed evaluators must not lose to the no-heuristic baseline.
+    assert load_balancing[1] >= fifo[1] - 2.0
+    # Load balancing must actually spread work across processors.
+    assert load_balancing[2] >= fifo[2] - 1e-9

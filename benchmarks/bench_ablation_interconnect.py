@@ -1,0 +1,27 @@
+"""A4: interconnect-model ablation.
+
+The paper's cost model assumes wormhole (cut-through) routing makes the
+communication cost distance-independent.  This bench swaps in
+store-and-forward per-hop costs over a 2-D mesh, calibrated to the same
+mean remote cost, and checks the headline conclusion (RT-SADS > D-COLS)
+survives the change of routing assumption.
+"""
+
+from conftest import bench_config
+
+from repro.experiments import ablation_interconnect
+
+
+def test_interconnect_ablation(benchmark):
+    config = bench_config()
+    result = benchmark.pedantic(
+        lambda: ablation_interconnect(config), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+    for row in result.rows:
+        label, rtsads, dcols = row
+        assert rtsads >= dcols, (
+            f"RT-SADS must dominate under {label!r}"
+        )

@@ -1,0 +1,31 @@
+"""A5: bounded scheduling memory (candidate-list size).
+
+The paper's CL stores every feasible successor; a real host processor has
+finite scheduling memory.  Our CL drops the oldest (shallowest) candidates
+beyond a bound — this bench shows depth-first phases tolerate very small
+bounds with no compliance loss, so the algorithm is deployable with O(m)
+scheduling memory per level rather than O(search-tree).
+"""
+
+from conftest import bench_config
+
+from repro.experiments import ablation_memory
+
+CL_BOUNDS = (8, 256, None)
+
+
+def test_memory_bound_ablation(benchmark):
+    config = bench_config()
+    result = benchmark.pedantic(
+        lambda: ablation_memory(config, cl_bounds=CL_BOUNDS),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    by_label = {row[0]: row[1] for row in result.rows}
+    unbounded = by_label["unbounded"]
+    tiny = by_label["8"]
+    # A tiny CL must not cost more than a few points of compliance.
+    assert tiny >= unbounded - 5.0

@@ -1,0 +1,32 @@
+"""A1: quantum-allocation ablation (paper Section 4.2 motivation).
+
+Compares the self-adjusting ``max(Min_Slack, Min_Load)`` criterion against
+its single-term components and fixed quanta.  The paper's claim: the
+adaptive criterion both protects batch deadlines (short quanta under
+pressure) and buys schedule quality (long quanta when workers are busy).
+"""
+
+from conftest import bench_config
+
+from repro.experiments import ablation_quantum
+
+
+def test_quantum_ablation(benchmark):
+    config = bench_config()
+    result = benchmark.pedantic(
+        lambda: ablation_quantum(config), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+    by_label = {row[0]: row[1] for row in result.rows}
+    adaptive = by_label["self-adjusting (paper)"]
+    tiny = next(v for k, v in by_label.items() if k.startswith("fixed tiny"))
+    long_ = next(v for k, v in by_label.items() if k.startswith("fixed long"))
+    # The adaptive criterion needs no tuning and must clearly beat both
+    # degenerate fixed extremes: too-short quanta starve the search, too-long
+    # quanta push the feasibility bound out until waiting tasks expire.
+    assert adaptive > tiny + 5.0
+    assert adaptive > long_ + 5.0
+    # ... and it must track the best policy of the table closely.
+    assert adaptive >= max(by_label.values()) - 12.0

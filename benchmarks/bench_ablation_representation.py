@@ -1,0 +1,30 @@
+"""A3: representation-only ablation (paper Section 3 conjectures).
+
+Identical quantum policy, evaluator, and per-vertex costs — only the search
+representation differs.  The paper's conjecture: pruned sequence-oriented
+search dead-ends often, terminates shallow, and uses only a fraction of the
+processors, while assignment-oriented search exploits every resource
+greedily.  The printed table shows exactly those quantities.
+"""
+
+from conftest import bench_config
+
+from repro.experiments import ablation_representation
+
+
+def test_representation_ablation(benchmark):
+    config = bench_config()
+    result = benchmark.pedantic(
+        lambda: ablation_representation(config), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+    rows = {row[0]: row for row in result.rows}
+    rtsads, dcols = rows["RT-SADS"], rows["D-COLS"]
+    # hit ratio: assignment-oriented wins.
+    assert rtsads[1] > dcols[1]
+    # dead-end rate: the sequence representation dead-ends overwhelmingly.
+    assert dcols[2] > rtsads[2]
+    # schedule depth per phase: assignment-oriented goes deeper.
+    assert rtsads[3] > dcols[3]

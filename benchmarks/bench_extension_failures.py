@@ -1,0 +1,33 @@
+"""X4: fault injection — fail-stop processor crashes (extension).
+
+Crashes kill the in-flight task and hand queued work back to the host for
+rescheduling on the survivors.  Dynamic scheduling must degrade gracefully
+(roughly proportional to the lost capacity), never collapse, and the
+deadline guarantee must hold for everything that still completes.
+"""
+
+from conftest import bench_config
+
+from repro.experiments import extension_failures
+
+FAILURE_COUNTS = (0, 1, 3)
+
+
+def test_failure_injection_extension(benchmark):
+    config = bench_config()
+    result = benchmark.pedantic(
+        lambda: extension_failures(config, failure_counts=FAILURE_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    rtsads = [row[1] for row in result.rows]
+    dcols = [row[2] for row in result.rows]
+    # Compliance never rises with more crashes and never collapses.
+    assert all(a >= b - 1.0 for a, b in zip(rtsads, rtsads[1:]))
+    lost_fraction = FAILURE_COUNTS[-1] / config.num_processors
+    assert rtsads[-1] >= rtsads[0] * (1.0 - 2.0 * lost_fraction)
+    # RT-SADS routes around failures at least as well as D-COLS.
+    assert all(r >= d for r, d in zip(rtsads, dcols))

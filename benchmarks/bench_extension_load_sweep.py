@@ -1,0 +1,33 @@
+"""X2: open-system load sweep (extension beyond the paper's burst).
+
+Poisson transaction arrivals at increasing fractions of machine capacity.
+Expected shape: both algorithms degrade as offered load crosses 1.0, but
+RT-SADS degrades gracefully while D-COLS is already compromised below
+capacity by its dead-end-prone representation.
+"""
+
+from conftest import bench_config
+
+from repro.experiments import extension_load_sweep
+
+LOAD_FACTORS = (0.4, 0.8, 1.2, 1.6)
+
+
+def test_load_sweep_extension(benchmark):
+    config = bench_config()
+    result = benchmark.pedantic(
+        lambda: extension_load_sweep(config, load_factors=LOAD_FACTORS),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    rtsads = [row[1] for row in result.rows]
+    dcols = [row[2] for row in result.rows]
+    # Compliance falls as offered load rises past capacity.
+    assert rtsads[0] > rtsads[-1]
+    # RT-SADS stays above D-COLS at every load level.
+    assert all(r >= d for r, d in zip(rtsads, dcols))
+    # Below capacity RT-SADS keeps compliance high.
+    assert rtsads[0] > 90.0

@@ -1,0 +1,29 @@
+"""X1: resource-reclaiming extension (the paper's reference [3]).
+
+Not a paper figure — the paper schedules with worst-case estimates and the
+Paragon executed them as such.  This bench quantifies what the runtime's
+automatic reclaiming buys when execution undercuts the worst case, using
+the real database's first-match early exit among other models.
+"""
+
+from conftest import bench_config
+
+from repro.experiments import extension_reclaiming
+
+
+def test_reclaiming_extension(benchmark):
+    config = bench_config()
+    result = benchmark.pedantic(
+        lambda: extension_reclaiming(config), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+    rows = {row[0]: row for row in result.rows}
+    worst = rows["worst-case (paper)"]
+    scaled = rows["scaled 50%"]
+    # Reclaiming must never hurt compliance and must shorten the makespan.
+    assert scaled[1] >= worst[1] - 1e-9
+    assert scaled[3] < worst[3]
+    assert worst[2] == 0.0  # no reclaimed time without early completion
+    assert scaled[2] > 0.0

@@ -1,0 +1,30 @@
+"""X3: read/write transaction mix (extension; the paper is read-only).
+
+Sweeps the fraction of update transactions.  Writes execute at their
+partition's primary copy under primary-copy replication; the bench asserts
+RT-SADS keeps its advantage over D-COLS at every mix (see the extension's
+docstring for the two opposing effects at play).
+"""
+
+from conftest import bench_config
+
+from repro.experiments import extension_write_mix
+
+WRITE_FRACTIONS = (0.0, 0.2, 0.5)
+
+
+def test_write_mix_extension(benchmark):
+    config = bench_config()
+    result = benchmark.pedantic(
+        lambda: extension_write_mix(config, write_fractions=WRITE_FRACTIONS),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    for row in result.rows:
+        fraction, rtsads, dcols = row
+        assert rtsads >= dcols, (
+            f"RT-SADS must dominate at write fraction {fraction}"
+        )

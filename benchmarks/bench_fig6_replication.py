@@ -1,0 +1,52 @@
+"""E2 / paper Figure 6: deadline compliance vs replication rate.
+
+Regenerates the figure's series (hit ratio for RT-SADS and D-COLS across
+replication rates 10%..100% at P = 10, SF = 1).  Expected shape: D-COLS
+rises steeply with the replication rate; RT-SADS stays high throughout and
+above D-COLS at every rate.
+"""
+
+from conftest import bench_config
+
+from repro.experiments import figure6
+
+RATES = (0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+
+
+def test_fig6_replication_sweep(benchmark):
+    config = bench_config()
+
+    result = benchmark.pedantic(
+        lambda: figure6(config, replication_rates=RATES),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(result.render())
+
+    rtsads = result.figure.series_by_label("RT-SADS").values
+    dcols = result.figure.series_by_label("D-COLS").values
+    assert dcols[-1] > dcols[0], "D-COLS must improve with replication"
+    assert all(r >= d for r, d in zip(rtsads, dcols)), (
+        "RT-SADS must stay above D-COLS at every replication rate"
+    )
+    # RT-SADS is robust to low replication; D-COLS is not.
+    assert (rtsads[-1] - rtsads[0]) < (dcols[-1] - dcols[0])
+
+
+def test_fig6_low_replication_cell(benchmark):
+    """Unit of work: the hardest cell (R=10%), both algorithms."""
+    from repro.experiments import run_once
+
+    config = bench_config(runs=1, replication_rate=0.1)
+
+    def run_pair():
+        return (
+            run_once(config, "rtsads", config.base_seed),
+            run_once(config, "dcols", config.base_seed),
+        )
+
+    rtsads, dcols = benchmark(run_pair)
+    assert rtsads.trace.scheduled_but_missed() == []
+    assert dcols.trace.scheduled_but_missed() == []

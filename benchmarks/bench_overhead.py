@@ -1,0 +1,78 @@
+"""E4: the scheduling-cost measurement (Section 5.1).
+
+The paper measures "the scheduling cost as the physical time required to
+run the scheduling algorithm".  This bench reports the virtual scheduling
+time both algorithms consume per phase under identical quanta, and measures
+the *actual* CPython wall-clock cost per search vertex — documenting the
+interpreter distortion that motivates the virtual budget (DESIGN.md
+Section 2).
+"""
+
+from conftest import bench_config
+
+from repro.core import (
+    AssignmentOrientedExpander,
+    LoadBalancingEvaluator,
+    PhaseContext,
+    SequenceOrientedExpander,
+    UniformCommunicationModel,
+    WallClockBudget,
+    run_search,
+)
+from repro.experiments import overhead_table
+from repro.experiments.runner import build_workload
+
+
+def test_overhead_table(benchmark):
+    config = bench_config()
+    result = benchmark.pedantic(
+        lambda: overhead_table(config), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.measured_per_vertex_seconds > 0
+    # Scheduling must consume a bounded share of the makespan.
+    for row in result.rows:
+        assert row[5] < 100.0
+
+
+def _phase_context(config, m=None):
+    _, tasks = build_workload(config, config.base_seed)
+    m = m or config.num_processors
+    return PhaseContext(
+        tasks=sorted(tasks, key=lambda t: (t.deadline, t.task_id)),
+        num_processors=m,
+        comm=UniformCommunicationModel(config.remote_cost),
+        phase_start=0.0,
+        quantum=float("inf"),
+        initial_offsets=(0.0,) * m,
+        evaluator=LoadBalancingEvaluator(),
+    )
+
+
+def test_wall_clock_phase_assignment_oriented(benchmark):
+    """Vertices evaluated per wall-clock quantum, assignment-oriented."""
+    config = bench_config(runs=1)
+    ctx = _phase_context(config)
+
+    def run_wall_clock_phase():
+        budget = WallClockBudget(quantum_seconds=0.02)
+        run_search(ctx, AssignmentOrientedExpander(), budget)
+        return budget.vertices_charged
+
+    vertices = benchmark(run_wall_clock_phase)
+    assert vertices > 0
+
+
+def test_wall_clock_phase_sequence_oriented(benchmark):
+    """Vertices evaluated per wall-clock quantum, sequence-oriented."""
+    config = bench_config(runs=1)
+    ctx = _phase_context(config)
+
+    def run_wall_clock_phase():
+        budget = WallClockBudget(quantum_seconds=0.02)
+        run_search(ctx, SequenceOrientedExpander(), budget)
+        return budget.vertices_charged
+
+    vertices = benchmark(run_wall_clock_phase)
+    assert vertices > 0

@@ -1,0 +1,25 @@
+"""Shared benchmark configuration.
+
+Figure benchmarks run the reduced `quick` scale by default so the whole
+suite finishes in minutes; set ``REPRO_BENCH_PAPER=1`` to run the full
+Section-5.1 scale (1000 transactions, 10 runs per cell — slow).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+def bench_config(**overrides) -> ExperimentConfig:
+    if os.environ.get("REPRO_BENCH_PAPER"):
+        return ExperimentConfig.paper(**overrides)
+    defaults = dict(num_transactions=150, runs=3)
+    defaults.update(overrides)
+    return ExperimentConfig.quick(**defaults)
+
+
+@pytest.fixture(scope="session")
+def paper_scale() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_PAPER"))

@@ -1,0 +1,94 @@
+"""Beyond the paper: read/write transactions and resource reclaiming.
+
+The paper restricts its evaluation to read-only transactions and worst-case
+execution.  This example lifts both restrictions: a mixed read/write burst
+runs against the distributed database (writes execute at their partition's
+primary copy under exclusive locks, maintaining the local and global
+indexes), and workers finish early when the real data lets them — the
+runtime reclaims the slack automatically.
+
+Run:  python examples/readwrite_transactions.py
+"""
+
+import random
+
+from repro import RTSADS, UniformCommunicationModel, simulate
+from repro.database import DatabaseConfig, DistributedDatabase, LockManager
+from repro.metrics import hit_ratio_by_tag
+from repro.simulator import FirstMatchDatabaseExecution
+from repro.workload import (
+    TransactionWorkloadConfig,
+    TransactionWorkloadGenerator,
+)
+
+NUM_PROCESSORS = 6
+
+
+def main() -> None:
+    database = DistributedDatabase.build(
+        config=DatabaseConfig(
+            num_subdatabases=10, records_per_subdb=200, domain_size=20
+        ),
+        num_processors=NUM_PROCESSORS,
+        replication_rate=0.5,
+        rng=random.Random(77),
+    )
+    generator = TransactionWorkloadGenerator(
+        database=database,
+        config=TransactionWorkloadConfig(
+            num_transactions=200,
+            slack_factor=1.5,
+            write_fraction=0.25,
+            seed=77,
+        ),
+    )
+    tasks, transactions = generator.generate()
+    writes = [t for t in transactions if t.is_write]
+    print(
+        f"workload: {len(transactions)} transactions, "
+        f"{len(writes)} of them updates (pinned to primary copies)"
+    )
+
+    # Demonstrate the concurrency-control substrate directly: execute one
+    # update under the lock manager and watch the global index follow.
+    lock_manager = LockManager()
+    executor = database.global_executor()
+    executor.lock_manager = lock_manager
+    executor.global_index = database.index
+    sample = writes[0]
+    before = database.index.total_indexed_tuples()
+    outcome = executor.execute(sample)
+    print(
+        f"update {sample.txn_id}: checked {outcome.tuples_checked} tuples, "
+        f"rewrote {outcome.rows_changed} rows "
+        f"(global index still covers {database.index.total_indexed_tuples()} "
+        f"tuples, was {before}); locks drained: "
+        f"{not lock_manager.locked_resources()}"
+    )
+
+    comm = UniformCommunicationModel(remote_cost=80.0)
+    print("\nworst-case execution vs first-match early exit:")
+    for label, model in (
+        ("worst-case", None),
+        ("first-match early exit",
+         FirstMatchDatabaseExecution(database, transactions)),
+    ):
+        result = simulate(
+            RTSADS(comm, per_vertex_cost=0.02),
+            list(tasks),
+            num_workers=NUM_PROCESSORS,
+            execution_model=model,
+        )
+        by_tag = hit_ratio_by_tag(result.trace)
+        tag_text = ", ".join(
+            f"{tag} {100 * ratio:.0f}%" for tag, ratio in sorted(by_tag.items())
+        )
+        print(
+            f"  {label:<22s} hits {100 * result.hit_ratio:5.1f}%  "
+            f"makespan {result.makespan:7.1f}  reclaimed "
+            f"{result.trace.total_reclaimed_time():8.1f}  ({tag_text})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Generate the paper-scale experiment outputs recorded in EXPERIMENTS.md."""
+import sys, time
+from repro.experiments import (
+    ExperimentConfig, figure5, figure6, laxity_sweep, overhead_table,
+    ablation_quantum, ablation_cost, ablation_representation,
+)
+
+config = ExperimentConfig.paper()
+jobs = [
+    ("fig5", lambda: figure5(config)),
+    ("fig6", lambda: figure6(config)),
+    ("laxity", lambda: laxity_sweep(config, processors=(2, 4, 6, 8, 10))),
+    ("overhead", lambda: overhead_table(config)),
+    ("ablate_quantum", lambda: ablation_quantum(config)),
+    ("ablate_cost", lambda: ablation_cost(config)),
+    ("ablate_representation", lambda: ablation_representation(config)),
+]
+for name, job in jobs:
+    t0 = time.time()
+    result = job()
+    text = result.render()
+    with open(f"/root/repo/results/paper_{name}.txt", "w") as f:
+        f.write(text + "\n")
+    print(f"DONE {name} in {time.time()-t0:.0f}s", flush=True)
+print("ALL DONE", flush=True)

@@ -1,0 +1,24 @@
+"""Regenerate paper-scale outputs affected by metric fixes + extensions."""
+import time
+from repro.experiments import (
+    ExperimentConfig, overhead_table, ablation_representation,
+    extension_reclaiming, extension_load_sweep, extension_write_mix,
+    extension_failures, ablation_interconnect,
+)
+
+config = ExperimentConfig.paper()
+jobs = [
+    ("ablate_representation", lambda: ablation_representation(config)),
+    ("overhead", lambda: overhead_table(config)),
+    ("ablate_interconnect", lambda: ablation_interconnect(config)),
+    ("reclaiming", lambda: extension_reclaiming(config)),
+    ("write_mix", lambda: extension_write_mix(config)),
+    ("failures", lambda: extension_failures(config)),
+    ("load_sweep", lambda: extension_load_sweep(config)),
+]
+for name, job in jobs:
+    t0 = time.time()
+    with open(f"results/paper_{name}.txt", "w") as f:
+        f.write(job().render() + "\n")
+    print(f"DONE {name} in {time.time()-t0:.0f}s", flush=True)
+print("ALL DONE", flush=True)

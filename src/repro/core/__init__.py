@@ -1,0 +1,137 @@
+"""Core scheduling library: the paper's primary contribution.
+
+Public surface:
+
+* Task model: :class:`Task`, :class:`TaskSet`
+* Communication models: :class:`UniformCommunicationModel` and friends
+* Schedules: :class:`Schedule`, :class:`ScheduleEntry`
+* Quantum policies: :class:`SelfAdjustingQuantum` (paper Figure 3) et al.
+* Search representations: assignment-oriented vs sequence-oriented
+* Schedulers: :class:`RTSADS`, :class:`DCOLS`, and the greedy baselines
+"""
+
+from .affinity import (
+    CommunicationModel,
+    DistanceCommunicationModel,
+    UniformCommunicationModel,
+    ZeroCommunicationModel,
+    affinity_degree,
+    random_affinity,
+)
+from .baselines import GreedyEDFScheduler, MyopicScheduler, RandomScheduler
+from .batch import Batch
+from .cost import (
+    EarliestFinishEvaluator,
+    FifoEvaluator,
+    LoadBalancingEvaluator,
+    MinSlackEvaluator,
+    VertexEvaluator,
+    get_evaluator,
+)
+from .dcols import DCOLS
+from .feasibility import (
+    is_feasible_against_bound,
+    is_feasible_assignment,
+    phase_end_bound,
+    projected_offsets,
+    remaining_quantum,
+    schedule_is_deadline_safe,
+)
+from .phase import MIN_PHASE_TIME, PhaseResult, run_phase
+from .quantum import (
+    FixedQuantum,
+    LoadOnlyQuantum,
+    QuantumPolicy,
+    SelfAdjustingQuantum,
+    SlackOnlyQuantum,
+    get_quantum_policy,
+    min_load,
+    min_slack,
+)
+from .representations import (
+    AssignmentOrientedExpander,
+    SequenceOrientedExpander,
+    get_expander,
+)
+from .rtsads import RTSADS
+from .schedule import Schedule, ScheduleEntry
+from .scheduler import DEFAULT_PER_VERTEX_COST, Scheduler, SearchScheduler
+from .search import (
+    CandidateList,
+    Expander,
+    Expansion,
+    PhaseContext,
+    SearchBudget,
+    SearchOutcome,
+    SearchStats,
+    Vertex,
+    VirtualTimeBudget,
+    WallClockBudget,
+    make_child,
+    make_root,
+    run_search,
+)
+from .task import Task, TaskSet, TaskValidationError, make_task
+
+__all__ = [
+    "AssignmentOrientedExpander",
+    "Batch",
+    "CandidateList",
+    "CommunicationModel",
+    "DCOLS",
+    "DEFAULT_PER_VERTEX_COST",
+    "DistanceCommunicationModel",
+    "EarliestFinishEvaluator",
+    "Expander",
+    "Expansion",
+    "FifoEvaluator",
+    "FixedQuantum",
+    "GreedyEDFScheduler",
+    "LoadBalancingEvaluator",
+    "LoadOnlyQuantum",
+    "MIN_PHASE_TIME",
+    "MinSlackEvaluator",
+    "MyopicScheduler",
+    "PhaseContext",
+    "PhaseResult",
+    "QuantumPolicy",
+    "RandomScheduler",
+    "RTSADS",
+    "Schedule",
+    "ScheduleEntry",
+    "Scheduler",
+    "SearchBudget",
+    "SearchOutcome",
+    "SearchScheduler",
+    "SearchStats",
+    "SelfAdjustingQuantum",
+    "SequenceOrientedExpander",
+    "SlackOnlyQuantum",
+    "Task",
+    "TaskSet",
+    "TaskValidationError",
+    "UniformCommunicationModel",
+    "Vertex",
+    "VertexEvaluator",
+    "VirtualTimeBudget",
+    "WallClockBudget",
+    "ZeroCommunicationModel",
+    "affinity_degree",
+    "get_evaluator",
+    "get_expander",
+    "get_quantum_policy",
+    "is_feasible_against_bound",
+    "is_feasible_assignment",
+    "make_child",
+    "make_root",
+    "make_task",
+    "min_load",
+    "min_slack",
+    "phase_end_bound",
+    "projected_offsets",
+    "random_affinity",
+    "remaining_quantum",
+    "run_phase",
+    "run_search",
+    "schedule_is_deadline_safe",
+]

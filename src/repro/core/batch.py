@@ -1,0 +1,87 @@
+"""Batch lifecycle across scheduling phases (paper Section 4).
+
+``Batch(0)`` holds the initially arrived tasks.  At the end of phase ``j``,
+``Batch(j+1)`` is formed by removing the tasks scheduled in phase ``j`` and
+the tasks whose deadlines were missed while waiting, and by adding the tasks
+that arrived during phase ``j``.  Scheduled tasks never re-enter a batch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .task import Task
+
+
+class Batch:
+    """The scheduler's working set of unscheduled, still-viable tasks."""
+
+    def __init__(self, tasks: Iterable[Task] = ()) -> None:
+        self._tasks: Dict[int, Task] = {}
+        self.phase_index = 0
+        self.total_admitted = 0
+        self.total_scheduled = 0
+        self.total_expired = 0
+        self.add_arrivals(tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __bool__(self) -> bool:
+        return bool(self._tasks)
+
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._tasks
+
+    def tasks(self) -> List[Task]:
+        """Current members in admission order."""
+        return list(self._tasks.values())
+
+    def edf_order(self) -> List[Task]:
+        """Current members sorted by deadline (the phase's task order)."""
+        return sorted(
+            self._tasks.values(), key=lambda t: (t.deadline, t.task_id)
+        )
+
+    def add_arrivals(self, tasks: Iterable[Task]) -> int:
+        """Admit newly arrived tasks; returns how many were admitted."""
+        added = 0
+        for task in tasks:
+            if task.task_id in self._tasks:
+                raise ValueError(
+                    f"task {task.task_id} already in batch"
+                )
+            self._tasks[task.task_id] = task
+            added += 1
+        self.total_admitted += added
+        return added
+
+    def remove_scheduled(self, task_ids: Iterable[int]) -> List[Task]:
+        """Remove tasks scheduled in the finishing phase; never re-admitted."""
+        removed = []
+        for task_id in task_ids:
+            task = self._tasks.pop(task_id, None)
+            if task is None:
+                raise KeyError(f"task {task_id} not in batch")
+            removed.append(task)
+        self.total_scheduled += len(removed)
+        return removed
+
+    def drop_expired(self, now: float) -> List[Task]:
+        """Evict tasks satisfying ``p_i + t_c > d_i`` (hopeless at ``now``)."""
+        expired = [t for t in self._tasks.values() if t.is_expired(now)]
+        for task in expired:
+            del self._tasks[task.task_id]
+        self.total_expired += len(expired)
+        return expired
+
+    def advance_phase(self) -> int:
+        """Mark the transition ``Batch(j) -> Batch(j+1)``; returns new index."""
+        self.phase_index += 1
+        return self.phase_index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Batch(j={self.phase_index}, size={len(self._tasks)}, "
+            f"scheduled={self.total_scheduled}, expired={self.total_expired})"
+        )

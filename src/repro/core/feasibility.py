@@ -1,0 +1,84 @@
+"""The RT-SADS feasibility test (paper Figure 4) and projected loads.
+
+A task assignment ``(T_l -> P_k)`` extends a feasible partial schedule into
+another feasible partial schedule iff::
+
+    t_c + RQ_s(j) + se_lk <= d_l
+
+where ``t_c`` is the current time, ``RQ_s(j) = Q_s(j) - (t_c - t_s)`` is the
+remaining scheduling time of phase ``j``, and ``se_lk`` is the scheduled end
+time of ``T_l`` on ``P_k`` measured from the end of the phase.  Because
+``t_c + RQ_s(j)`` is the constant ``t_s + Q_s(j)`` throughout the phase, the
+test reduces to comparing against a fixed *phase-end bound*; we expose both
+forms.  Accounting for the scheduling time in this way is what makes the
+paper's correctness theorem hold: a scheduled task can never miss its
+deadline because of scheduling overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .task import Task
+
+#: Numeric slop applied to all feasibility comparisons.
+EPSILON = 1e-9
+
+
+def phase_end_bound(phase_start: float, quantum: float) -> float:
+    """Upper bound ``t_s + Q_s(j)`` on the end time of the current phase."""
+    return phase_start + quantum
+
+
+def remaining_quantum(phase_start: float, quantum: float, now: float) -> float:
+    """``RQ_s(j) = Q_s(j) - (t_c - t_s)``, clamped at zero."""
+    return max(0.0, quantum - (now - phase_start))
+
+
+def is_feasible_assignment(
+    task: Task,
+    scheduled_end: float,
+    now: float,
+    phase_start: float,
+    quantum: float,
+) -> bool:
+    """The literal Figure-4 test: ``t_c + RQ_s(j) + se_lk <= d_l``."""
+    rqs = remaining_quantum(phase_start, quantum, now)
+    return now + rqs + scheduled_end <= task.deadline + EPSILON
+
+
+def is_feasible_against_bound(
+    task: Task, scheduled_end: float, bound: float
+) -> bool:
+    """Equivalent constant-bound form used in the search hot loop."""
+    return bound + scheduled_end <= task.deadline + EPSILON
+
+
+def projected_offsets(
+    loads: Sequence[float], quantum: float
+) -> tuple[float, ...]:
+    """Per-processor load projected to the end of the phase.
+
+    While the scheduling processor runs phase ``j`` for up to ``Q_s(j)``,
+    each working processor drains up to ``Q_s(j)`` of its queued work, so the
+    earliest a newly delivered task can start on ``P_k`` is
+    ``max(0, Load_k(j-1) - Q_s(j))`` after the phase ends.  This is the
+    ``Load_k(j-1) - Q_s(j)`` term of the paper's ``ce_k`` (Section 4.4),
+    floored at zero because a processor cannot have negative backlog.
+    """
+    return tuple(max(0.0, load - quantum) for load in loads)
+
+
+def schedule_is_deadline_safe(
+    finish_times: Mapping[int, float], tasks: Mapping[int, Task]
+) -> bool:
+    """Whether every executed task finished at or before its deadline.
+
+    Used by tests asserting the paper's theorem: tasks scheduled by RT-SADS
+    (or any scheduler using this feasibility test) meet their deadlines once
+    executed.
+    """
+    for task_id, finish in finish_times.items():
+        if finish > tasks[task_id].deadline + EPSILON:
+            return False
+    return True

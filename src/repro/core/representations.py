@@ -1,0 +1,191 @@
+"""The two search representations of the paper (Figures 1 and 2).
+
+* **Assignment-oriented** (Figure 2, used by RT-SADS): each level of the tree
+  selects a *task* and branches on the *processor* it is assigned to.  All
+  processors are candidates at every level, so backtracking can re-route a
+  task to any processor — the property the paper credits for scalability.
+
+* **Sequence-oriented** (Figure 1, used by D-COLS): each level selects a
+  *processor* — in round-robin order — and branches on the *task* assigned to
+  it.  Backtracking can only swap which task runs on the level's processor;
+  when no remaining task is feasible on it, the branch dies, which is the
+  dead-end mechanism behind the paper's scalability conjecture.
+
+Both expanders charge the search budget for every candidate they generate
+(feasible or not), keeping the comparison honest: the two algorithms receive
+identical quanta and pay identical per-vertex costs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .search import (
+    Expander,
+    Expansion,
+    PhaseContext,
+    SearchBudget,
+    SearchStats,
+    Vertex,
+    make_child,
+)
+
+
+def _unscheduled_indices(vertex: Vertex, n: int):
+    """Batch indices (EDF order) not yet on the vertex's partial path."""
+    mask = vertex.scheduled_mask
+    for index in range(n):
+        if not (mask >> index) & 1:
+            yield index
+
+
+class AssignmentOrientedExpander(Expander):
+    """RT-SADS's representation: pick a task, branch on processors.
+
+    Task selection follows EDF order over the batch; if the earliest-deadline
+    unscheduled task has no feasible processor it is skipped (it stays in the
+    batch for the next phase) and the next task is probed, up to
+    ``max_task_probes``.  Every probe evaluates all processors and charges
+    the budget for each generated candidate.
+
+    Because per-processor offsets never decrease along a path, a task that is
+    infeasible on *every* processor at some vertex stays infeasible in the
+    whole subtree below it.  Such tasks are therefore marked in the successor
+    vertices' masks so deeper levels do not re-probe them — the discovery is
+    paid for once (its vertex generations are charged) instead of at every
+    level.  The pruned tasks remain in the batch for the next phase.
+    """
+
+    def __init__(self, max_task_probes: Optional[int] = None) -> None:
+        if max_task_probes is not None and max_task_probes <= 0:
+            raise ValueError("max_task_probes must be positive when given")
+        self.max_task_probes = max_task_probes
+
+    def successors(
+        self,
+        vertex: Vertex,
+        ctx: PhaseContext,
+        budget: SearchBudget,
+        stats: SearchStats,
+    ) -> Expansion:
+        probes = 0
+        hopeless_mask = 0
+        truncated = False
+        comm_cost = ctx.comm.cost
+        evaluate = ctx.evaluator.evaluate
+        for index in _unscheduled_indices(vertex, ctx.n):
+            if self.max_task_probes is not None and probes >= self.max_task_probes:
+                truncated = True
+                break
+            if probes and budget.exhausted():
+                truncated = True
+                break
+            probes += 1
+            stats.task_probes += 1
+            task = ctx.tasks[index]
+            candidates: List[Vertex] = []
+            budget.charge(ctx.num_processors)
+            stats.vertices_generated += ctx.num_processors
+            for processor in range(ctx.num_processors):
+                comm = comm_cost(task, processor)
+                total = task.processing_time + comm
+                scheduled_end = vertex.proc_offsets[processor] + total
+                if ctx.is_feasible(task, scheduled_end):
+                    child = make_child(vertex, index, processor, total, comm)
+                    child.value = evaluate(ctx, child)
+                    candidates.append(child)
+            if candidates:
+                if hopeless_mask:
+                    # Infeasible-everywhere tasks stay infeasible below this
+                    # vertex (offsets are monotone); prune them from the
+                    # subtree.  They are *not* scheduled and roll over to the
+                    # next batch.
+                    for child in candidates:
+                        child.scheduled_mask |= hopeless_mask
+                candidates.sort(key=lambda v: v.value)
+                return Expansion(successors=candidates)
+            hopeless_mask |= 1 << index
+        # No task could extend the schedule.  If every unscheduled task was
+        # probed, this vertex is provably maximal (exhaustive=True).
+        return Expansion(successors=[], exhaustive=not truncated)
+
+
+class SequenceOrientedExpander(Expander):
+    """D-COLS's representation: pick a processor round-robin, branch on tasks.
+
+    Level ``depth`` of the tree considers processor
+    ``(start_processor + depth) % m`` and generates candidates for the first
+    ``beam_width`` unscheduled tasks in EDF order (the pruning a dynamic
+    sequence-oriented algorithm must apply; the paper cites limited
+    backtracking and bounded lookahead).  A level whose processor admits no
+    feasible task yields no successors — the search must backtrack, and with
+    low replication this is where D-COLS dead-ends.
+    """
+
+    def __init__(
+        self,
+        beam_width: Optional[int] = None,
+        start_processor: int = 0,
+    ) -> None:
+        if beam_width is not None and beam_width <= 0:
+            raise ValueError("beam_width must be positive when given")
+        if start_processor < 0:
+            raise ValueError("start_processor must be non-negative")
+        self.beam_width = beam_width
+        self.start_processor = start_processor
+
+    def processor_at(self, depth: int, num_processors: int) -> int:
+        """The processor considered at tree level ``depth``."""
+        return (self.start_processor + depth) % num_processors
+
+    def successors(
+        self,
+        vertex: Vertex,
+        ctx: PhaseContext,
+        budget: SearchBudget,
+        stats: SearchStats,
+    ) -> Expansion:
+        processor = self.processor_at(vertex.depth, ctx.num_processors)
+        beam = self.beam_width if self.beam_width is not None else ctx.num_processors
+        comm_cost = ctx.comm.cost
+        evaluate = ctx.evaluator.evaluate
+        candidates: List[Vertex] = []
+        probed = 0
+        for index in _unscheduled_indices(vertex, ctx.n):
+            if probed >= beam:
+                break
+            probed += 1
+            task = ctx.tasks[index]
+            comm = comm_cost(task, processor)
+            total = task.processing_time + comm
+            scheduled_end = vertex.proc_offsets[processor] + total
+            if ctx.is_feasible(task, scheduled_end):
+                child = make_child(vertex, index, processor, total, comm)
+                child.value = evaluate(ctx, child)
+                candidates.append(child)
+        budget.charge(probed)
+        stats.vertices_generated += probed
+        stats.task_probes += 1 if probed else 0
+        candidates.sort(key=lambda v: v.value)
+        # A failed level only proves infeasibility on *this* processor, so a
+        # sequence-oriented expansion is never exhaustive: the representation
+        # cannot certify a maximal schedule and must backtrack instead.
+        return Expansion(successors=candidates, exhaustive=False)
+
+
+def get_expander(
+    name: str,
+    beam_width: Optional[int] = None,
+    start_processor: int = 0,
+    max_task_probes: Optional[int] = None,
+) -> Expander:
+    """Factory by short name, used by experiment configs and the CLI."""
+    if name == "assignment":
+        return AssignmentOrientedExpander(max_task_probes=max_task_probes)
+    if name == "sequence":
+        return SequenceOrientedExpander(
+            beam_width=beam_width, start_processor=start_processor
+        )
+    raise ValueError(
+        f"unknown representation {name!r}; choose 'assignment' or 'sequence'"
+    )

@@ -1,0 +1,63 @@
+"""RT-SADS: Real-Time Self-Adjusting Dynamic Scheduling (paper Section 4).
+
+RT-SADS searches an **assignment-oriented** task space (pick a task, branch
+on processors) under a **self-adjusting quantum** ``max(Min_Slack,
+Min_Load)``, guided by the **load-balancing cost function** ``CE``, with the
+quantum-aware feasibility test that makes its correctness theorem hold.  It
+is a configuration of :class:`repro.core.scheduler.SearchScheduler`; this
+module pins the paper's choices and documents the knobs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .affinity import CommunicationModel
+from .cost import LoadBalancingEvaluator, VertexEvaluator
+from .quantum import QuantumPolicy, SelfAdjustingQuantum
+from .representations import AssignmentOrientedExpander
+from .scheduler import DEFAULT_PER_VERTEX_COST, SearchScheduler
+
+
+class RTSADS(SearchScheduler):
+    """The paper's algorithm with its default mechanisms.
+
+    Parameters
+    ----------
+    comm:
+        Communication model supplying ``c_ij`` (usually the uniform-C
+        wormhole model).
+    evaluator:
+        Vertex evaluator; defaults to the load-balancing cost function
+        ``CE`` of Section 4.4.  Pass another evaluator for ablation A2.
+    quantum_policy:
+        Defaults to the self-adjusting criterion of Figure 3.  Pass a
+        :class:`repro.core.quantum.FixedQuantum` for ablation A1.
+    per_vertex_cost:
+        Modelled scheduling cost of generating one search vertex (the
+        virtual-time stand-in for Paragon host-processor speed).
+    max_task_probes:
+        How many EDF-ordered tasks a level may probe before giving up when
+        the front tasks have no feasible processor; ``None`` probes all.
+    """
+
+    def __init__(
+        self,
+        comm: CommunicationModel,
+        evaluator: Optional[VertexEvaluator] = None,
+        quantum_policy: Optional[QuantumPolicy] = None,
+        per_vertex_cost: float = DEFAULT_PER_VERTEX_COST,
+        max_task_probes: Optional[int] = None,
+        max_candidates: Optional[int] = 100_000,
+    ) -> None:
+        expander = AssignmentOrientedExpander(max_task_probes=max_task_probes)
+        super().__init__(
+            comm=comm,
+            # The assignment-oriented expander is stateless across phases.
+            expander_factory=lambda phase_index: expander,
+            evaluator=evaluator or LoadBalancingEvaluator(),
+            quantum_policy=quantum_policy or SelfAdjustingQuantum(),
+            per_vertex_cost=per_vertex_cost,
+            max_candidates=max_candidates,
+            name="RT-SADS",
+        )

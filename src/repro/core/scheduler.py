@@ -1,0 +1,188 @@
+"""Scheduler interface and the generic search-based dynamic scheduler.
+
+The on-line runtime (:mod:`repro.simulator.runtime`) is scheduler-agnostic:
+anything implementing :class:`Scheduler` can drive it.  RT-SADS and D-COLS
+are thin configurations of :class:`SearchScheduler`; the greedy baselines in
+:mod:`repro.core.baselines` implement the interface directly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+from .affinity import CommunicationModel
+from .cost import LoadBalancingEvaluator, VertexEvaluator
+from .phase import PhaseResult, run_phase
+from .quantum import QuantumPolicy, SelfAdjustingQuantum
+from .search import Expander, VirtualTimeBudget
+from .task import Task
+
+#: Default modelled cost of generating/evaluating one search vertex, in the
+#: same time units as task processing times (one tuple-check = 1.0 unit).
+DEFAULT_PER_VERTEX_COST = 0.1
+
+#: Default cap on the allocated quantum, as a multiple of the time one full
+#: search pass over the batch costs (``kappa * m * |batch|``).  The paper's
+#: criterion (Figure 3) is an upper bound ("Q_s(j) <= max[...]"); allocating
+#: more time than the search can productively use only pushes the
+#: feasibility bound ``t_s + Q_s`` further out — making *currently* viable
+#: tasks test infeasible — while the extra time buys no additional search.
+#: The factor leaves room for backtracking beyond the single greedy pass.
+DEFAULT_QUANTUM_CAP_FACTOR = 3.0
+
+#: Per-phase fixed overhead, as a multiple of ``kappa * (batch + m)``: every
+#: phase the host must merge arrivals into Batch(j), run the expiry test on
+#: each member, read every processor's load, and deliver the schedule.  This
+#: cost exists for every scheduler and prevents the unrealistic
+#: free-restart regime where an algorithm converts dead-end micro-phases
+#: into a zero-cost trickle scheduler.
+DEFAULT_PHASE_OVERHEAD_FACTOR = 1.0
+
+
+def phase_overhead(
+    batch_size: int,
+    num_processors: int,
+    per_vertex_cost: float,
+    overhead_factor: float,
+) -> float:
+    """Fixed host time one scheduling phase costs outside the search."""
+    return overhead_factor * per_vertex_cost * (batch_size + num_processors)
+
+
+def useful_search_time(
+    batch_size: int,
+    num_processors: int,
+    per_vertex_cost: float,
+    cap_factor: float,
+) -> float:
+    """Upper bound on productively usable scheduling time for one phase."""
+    one_pass = per_vertex_cost * num_processors * max(1, batch_size)
+    return cap_factor * one_pass
+
+
+class Scheduler(ABC):
+    """A dynamic scheduler usable by the on-line runtime."""
+
+    name: str = "scheduler"
+
+    @abstractmethod
+    def plan_quantum(
+        self, batch: Sequence[Task], loads: Sequence[float], now: float
+    ) -> float:
+        """Allocate the scheduling time ``Q_s(j)`` for the next phase."""
+
+    @abstractmethod
+    def schedule_phase(
+        self,
+        batch: Sequence[Task],
+        loads: Sequence[float],
+        now: float,
+        quantum: float,
+    ) -> PhaseResult:
+        """Run scheduling phase ``j`` and return its feasible schedule."""
+
+    def reset(self) -> None:
+        """Clear inter-phase state before a fresh simulation run."""
+
+
+class SearchScheduler(Scheduler):
+    """Search-based dynamic scheduler parameterized by representation.
+
+    Combines a quantum policy (Section 4.2), a search representation
+    (Section 3), a vertex evaluator (Section 4.4), and the budget model into
+    the phase loop of Section 4.1.  ``expander_factory`` receives the phase
+    index so representations can rotate state across phases (D-COLS rotates
+    its round-robin start processor).
+    """
+
+    def __init__(
+        self,
+        comm: CommunicationModel,
+        expander_factory,
+        evaluator: Optional[VertexEvaluator] = None,
+        quantum_policy: Optional[QuantumPolicy] = None,
+        per_vertex_cost: float = DEFAULT_PER_VERTEX_COST,
+        max_candidates: Optional[int] = 100_000,
+        quantum_cap_factor: Optional[float] = DEFAULT_QUANTUM_CAP_FACTOR,
+        phase_overhead_factor: float = DEFAULT_PHASE_OVERHEAD_FACTOR,
+        name: str = "search-scheduler",
+    ) -> None:
+        if per_vertex_cost <= 0:
+            raise ValueError("per_vertex_cost must be positive")
+        if quantum_cap_factor is not None and quantum_cap_factor <= 0:
+            raise ValueError("quantum_cap_factor must be positive when given")
+        if phase_overhead_factor < 0:
+            raise ValueError("phase_overhead_factor must be non-negative")
+        self.comm = comm
+        self.expander_factory = expander_factory
+        self.evaluator = evaluator or LoadBalancingEvaluator()
+        self.quantum_policy = quantum_policy or SelfAdjustingQuantum()
+        self.per_vertex_cost = per_vertex_cost
+        self.max_candidates = max_candidates
+        self.quantum_cap_factor = quantum_cap_factor
+        self.phase_overhead_factor = phase_overhead_factor
+        self.name = name
+        self.phase_index = 0
+
+    def plan_quantum(
+        self, batch: Sequence[Task], loads: Sequence[float], now: float
+    ) -> float:
+        quantum = self.quantum_policy.quantum(batch, loads, now)
+        if self.quantum_cap_factor is not None:
+            cap = useful_search_time(
+                batch_size=len(batch),
+                num_processors=len(loads),
+                per_vertex_cost=self.per_vertex_cost,
+                cap_factor=self.quantum_cap_factor,
+            )
+            quantum = min(quantum, max(cap, self.quantum_policy.min_quantum))
+        return quantum
+
+    def schedule_phase(
+        self,
+        batch: Sequence[Task],
+        loads: Sequence[float],
+        now: float,
+        quantum: float,
+    ) -> PhaseResult:
+        expander: Expander = self.expander_factory(self.phase_index)
+        # The phase's total window is the search quantum plus the fixed
+        # batch-management overhead; the overhead is pre-consumed so the
+        # search only gets `quantum` of it, while the feasibility bound
+        # covers the full window (delivery cannot happen before the
+        # overhead is paid).
+        overhead = phase_overhead(
+            batch_size=len(batch),
+            num_processors=len(loads),
+            per_vertex_cost=self.per_vertex_cost,
+            overhead_factor=self.phase_overhead_factor,
+        )
+        budget = VirtualTimeBudget(
+            quantum=quantum + overhead, per_vertex_cost=self.per_vertex_cost
+        )
+        budget.consume(overhead)
+        result = run_phase(
+            tasks=batch,
+            loads=loads,
+            now=now,
+            quantum=quantum + overhead,
+            comm=self.comm,
+            expander=expander,
+            evaluator=self.evaluator,
+            budget=budget,
+            per_vertex_cost=self.per_vertex_cost,
+            max_candidates=self.max_candidates,
+        )
+        self.phase_index += 1
+        return result
+
+    def reset(self) -> None:
+        self.phase_index = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"evaluator={self.evaluator.name}, "
+            f"quantum={self.quantum_policy.name})"
+        )

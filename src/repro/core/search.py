@@ -1,0 +1,476 @@
+"""Search-space machinery shared by both scheduling representations.
+
+Scheduling is an incremental search for a feasible schedule in a tree
+``G(V, E)`` whose vertices are task-to-processor assignments (paper Section
+3).  This module provides the pieces that are independent of the search
+*representation*:
+
+* :class:`Vertex` — a generated vertex: one assignment plus the persistent
+  state (per-processor completion offsets, scheduled-task bitmask) needed to
+  extend or evaluate the partial schedule it terminates.
+* :class:`CandidateList` — the CL of the paper: feasible candidates awaiting
+  expansion, best-first within a block, depth-first across blocks.
+* :class:`SearchBudget` and its virtual-time / wall-clock implementations —
+  the mechanism by which the quantum ``Q_s(j)`` bounds a phase.
+* :func:`run_search` — the depth-first driver: expand the current vertex,
+  keep feasible successors, backtrack on failure, stop at a leaf, a dead
+  end, or quantum exhaustion, and return the best feasible partial schedule
+  found.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+
+from .affinity import CommunicationModel
+from .feasibility import EPSILON, is_feasible_against_bound
+from .schedule import Schedule, ScheduleEntry
+from .task import Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cost import VertexEvaluator
+
+
+class Vertex:
+    """One generated vertex of the task-space tree ``G``.
+
+    A vertex represents the assignment of ``ctx.tasks[batch_index]`` to
+    ``processor``; the path from the root to the vertex is the partial
+    schedule (paper Section 3).  State is persistent: ``proc_offsets`` and
+    ``scheduled_mask`` are immutable snapshots, so backtracking to any vertex
+    in the CL needs no undo work.
+    """
+
+    __slots__ = (
+        "parent",
+        "batch_index",
+        "processor",
+        "depth",
+        "scheduled_mask",
+        "proc_offsets",
+        "scheduled_end",
+        "communication_cost",
+        "value",
+    )
+
+    def __init__(
+        self,
+        parent: Optional["Vertex"],
+        batch_index: int,
+        processor: int,
+        depth: int,
+        scheduled_mask: int,
+        proc_offsets: tuple,
+        scheduled_end: float,
+        communication_cost: float,
+        value: float = 0.0,
+    ) -> None:
+        self.parent = parent
+        self.batch_index = batch_index
+        self.processor = processor
+        self.depth = depth
+        self.scheduled_mask = scheduled_mask
+        self.proc_offsets = proc_offsets
+        self.scheduled_end = scheduled_end
+        self.communication_cost = communication_cost
+        self.value = value
+
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def path(self) -> List["Vertex"]:
+        """Vertices from the first assignment to this one (root excluded)."""
+        vertices: List[Vertex] = []
+        node: Optional[Vertex] = self
+        while node is not None and not node.is_root():
+            vertices.append(node)
+            node = node.parent
+        vertices.reverse()
+        return vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_root():
+            return "Vertex(root)"
+        return (
+            f"Vertex(T[{self.batch_index}]->P{self.processor}, "
+            f"depth={self.depth}, se={self.scheduled_end:.3f})"
+        )
+
+
+def make_root(initial_offsets: Sequence[float]) -> Vertex:
+    """Root vertex: the empty schedule on top of projected initial loads."""
+    return Vertex(
+        parent=None,
+        batch_index=-1,
+        processor=-1,
+        depth=0,
+        scheduled_mask=0,
+        proc_offsets=tuple(initial_offsets),
+        scheduled_end=0.0,
+        communication_cost=0.0,
+    )
+
+
+def make_child(
+    parent: Vertex,
+    batch_index: int,
+    processor: int,
+    total_cost: float,
+    communication_cost: float,
+) -> Vertex:
+    """Extend ``parent`` by one assignment, producing the successor vertex."""
+    offsets = list(parent.proc_offsets)
+    scheduled_end = offsets[processor] + total_cost
+    offsets[processor] = scheduled_end
+    return Vertex(
+        parent=parent,
+        batch_index=batch_index,
+        processor=processor,
+        depth=parent.depth + 1,
+        scheduled_mask=parent.scheduled_mask | (1 << batch_index),
+        proc_offsets=tuple(offsets),
+        scheduled_end=scheduled_end,
+        communication_cost=communication_cost,
+    )
+
+
+class PhaseContext:
+    """Immutable inputs of one scheduling phase, shared by all vertices."""
+
+    __slots__ = (
+        "tasks",
+        "num_processors",
+        "comm",
+        "phase_start",
+        "quantum",
+        "phase_end_bound",
+        "initial_offsets",
+        "evaluator",
+        "n",
+    )
+
+    def __init__(
+        self,
+        tasks: Sequence[Task],
+        num_processors: int,
+        comm: CommunicationModel,
+        phase_start: float,
+        quantum: float,
+        initial_offsets: Sequence[float],
+        evaluator: "VertexEvaluator",
+    ) -> None:
+        if num_processors <= 0:
+            raise ValueError("num_processors must be positive")
+        if len(initial_offsets) != num_processors:
+            raise ValueError(
+                f"initial_offsets has {len(initial_offsets)} entries for "
+                f"{num_processors} processors"
+            )
+        if quantum < 0:
+            raise ValueError("quantum must be non-negative")
+        self.tasks = list(tasks)
+        self.num_processors = num_processors
+        self.comm = comm
+        self.phase_start = phase_start
+        self.quantum = quantum
+        self.phase_end_bound = phase_start + quantum
+        self.initial_offsets = tuple(initial_offsets)
+        self.evaluator = evaluator
+        self.n = len(self.tasks)
+
+    def is_feasible(self, task: Task, scheduled_end: float) -> bool:
+        """Figure-4 test in constant-bound form (see feasibility module)."""
+        return is_feasible_against_bound(task, scheduled_end, self.phase_end_bound)
+
+
+@dataclass
+class SearchStats:
+    """Counters describing one phase's search, used by the ablations."""
+
+    vertices_generated: int = 0
+    expansions: int = 0
+    backtracks: int = 0
+    task_probes: int = 0
+    dead_end: bool = False
+    complete: bool = False
+    maximal: bool = False
+    max_depth: int = 0
+    processors_touched: int = 0
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another phase's counters into this one."""
+        self.vertices_generated += other.vertices_generated
+        self.expansions += other.expansions
+        self.backtracks += other.backtracks
+        self.task_probes += other.task_probes
+        self.dead_end = self.dead_end or other.dead_end
+        self.complete = self.complete or other.complete
+        self.maximal = self.maximal or other.maximal
+        self.max_depth = max(self.max_depth, other.max_depth)
+        self.processors_touched = max(
+            self.processors_touched, other.processors_touched
+        )
+
+
+class CandidateList:
+    """The candidate list CL: a depth-first stack of sorted sibling blocks.
+
+    ``push_block`` receives a block of feasible successors sorted best-first
+    and places it on top so the best candidate is expanded next; ``pop``
+    removes the top candidate.  Popping from an empty CL is the paper's
+    *dead-end*.  An optional size bound drops the oldest (shallowest)
+    candidates, modelling the bounded scheduling memory of a real host
+    processor.
+    """
+
+    def __init__(self, max_size: Optional[int] = None) -> None:
+        if max_size is not None and max_size <= 0:
+            raise ValueError("max_size must be positive when given")
+        self._stack: List[Vertex] = []
+        self.max_size = max_size
+        self.dropped = 0
+
+    def push_block(self, block: Iterable[Vertex]) -> None:
+        ordered = list(block)
+        # Best candidate must pop first, so append the block reversed.
+        self._stack.extend(reversed(ordered))
+        if self.max_size is not None and len(self._stack) > self.max_size:
+            overflow = len(self._stack) - self.max_size
+            del self._stack[:overflow]
+            self.dropped += overflow
+
+    def pop(self) -> Optional[Vertex]:
+        if not self._stack:
+            return None
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def __bool__(self) -> bool:
+        return bool(self._stack)
+
+
+class SearchBudget(ABC):
+    """Tracks consumption of the scheduling quantum ``Q_s(j)``."""
+
+    @abstractmethod
+    def charge(self, vertices: int) -> None:
+        """Account for generating and evaluating ``vertices`` candidates."""
+
+    @abstractmethod
+    def used(self) -> float:
+        """Scheduling time consumed so far, in the budget's time base."""
+
+    @abstractmethod
+    def exhausted(self) -> bool:
+        """Whether the quantum has been fully consumed."""
+
+    def remaining(self) -> float:
+        raise NotImplementedError
+
+
+class VirtualTimeBudget(SearchBudget):
+    """Deterministic budget: each vertex evaluation costs a fixed model time.
+
+    This is the reproduction's substitute for measuring physical scheduling
+    time on the Intel Paragon (see DESIGN.md): CPython's per-vertex cost is
+    orders of magnitude larger than the 1998 hardware's, so charging a
+    modelled cost preserves the paper's overhead dynamics while keeping runs
+    deterministic.
+    """
+
+    def __init__(self, quantum: float, per_vertex_cost: float) -> None:
+        if quantum < 0:
+            raise ValueError("quantum must be non-negative")
+        if per_vertex_cost <= 0:
+            raise ValueError("per_vertex_cost must be positive")
+        self.quantum = quantum
+        self.per_vertex_cost = per_vertex_cost
+        self._used = 0.0
+
+    def charge(self, vertices: int) -> None:
+        self._used += vertices * self.per_vertex_cost
+
+    def consume(self, amount: float) -> None:
+        """Directly consume budget time (e.g. per-phase batch management)."""
+        if amount < 0:
+            raise ValueError("consumed amount must be non-negative")
+        self._used += amount
+
+    def used(self) -> float:
+        return self._used
+
+    def exhausted(self) -> bool:
+        return self._used >= self.quantum - EPSILON
+
+    def remaining(self) -> float:
+        return max(0.0, self.quantum - self._used)
+
+
+class WallClockBudget(SearchBudget):
+    """Budget measured against real elapsed time (the paper's method).
+
+    Used by the scheduling-overhead experiment (E4) to document how an
+    interpreter-speed host distorts the timing study; `charge` only counts
+    vertices, time flows by itself.
+    """
+
+    def __init__(self, quantum_seconds: float) -> None:
+        if quantum_seconds < 0:
+            raise ValueError("quantum_seconds must be non-negative")
+        self.quantum = quantum_seconds
+        self._start = time.perf_counter()
+        self.vertices_charged = 0
+
+    def charge(self, vertices: int) -> None:
+        self.vertices_charged += vertices
+
+    def used(self) -> float:
+        return time.perf_counter() - self._start
+
+    def exhausted(self) -> bool:
+        return self.used() >= self.quantum
+
+    def remaining(self) -> float:
+        return max(0.0, self.quantum - self.used())
+
+
+@dataclass
+class Expansion:
+    """Outcome of expanding one vertex.
+
+    ``exhaustive`` is True only when the expander *proved* that no
+    unscheduled task is feasible on any processor below this vertex — i.e.
+    the vertex terminates a maximal partial schedule.  Only the
+    assignment-oriented representation can ever conclude this, because each
+    of its levels examines every processor; a sequence-oriented level that
+    fails has only proved infeasibility on its own processor.
+    """
+
+    successors: List[Vertex]
+    exhaustive: bool = False
+
+    def __bool__(self) -> bool:
+        return bool(self.successors)
+
+
+class Expander(ABC):
+    """A search representation: how a vertex's successors are generated."""
+
+    @abstractmethod
+    def successors(
+        self, vertex: Vertex, ctx: PhaseContext, budget: SearchBudget,
+        stats: SearchStats,
+    ) -> Expansion:
+        """Generate, test, evaluate and sort the feasible successors.
+
+        Implementations must ``budget.charge`` every candidate they generate
+        (feasible or not) and update ``stats`` accordingly, and must return
+        successors sorted best-first by ``ctx.evaluator`` values.
+        """
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class SearchOutcome:
+    """Result of one phase's search."""
+
+    best: Vertex
+    stats: SearchStats
+    time_used: float
+    candidates_dropped: int = 0
+
+    def extract_schedule(self, ctx: PhaseContext) -> Schedule:
+        """Materialize the best vertex's path as a :class:`Schedule`."""
+        schedule = Schedule()
+        for vertex in self.best.path():
+            task = ctx.tasks[vertex.batch_index]
+            schedule.append(
+                ScheduleEntry(
+                    task=task,
+                    processor=vertex.processor,
+                    communication_cost=vertex.communication_cost,
+                    scheduled_end=vertex.scheduled_end,
+                )
+            )
+        return schedule
+
+
+def _is_better(candidate: Vertex, incumbent: Vertex) -> bool:
+    """Deeper schedules win; equal depth resolved by evaluator value."""
+    if candidate.depth != incumbent.depth:
+        return candidate.depth > incumbent.depth
+    return candidate.value < incumbent.value
+
+
+def run_search(
+    ctx: PhaseContext,
+    expander: Expander,
+    budget: SearchBudget,
+    max_candidates: Optional[int] = None,
+    max_iterations: Optional[int] = None,
+) -> SearchOutcome:
+    """Depth-first search of one scheduling phase (paper Section 4.1).
+
+    Iterates: pop the best candidate vertex from the CL, stop if it is a
+    leaf (complete schedule), otherwise expand it; feasible successors go on
+    top of the CL, an empty successor set triggers backtracking.  The loop
+    ends at a leaf, at a *maximal* vertex (an exhaustive expansion proved no
+    remaining task fits anywhere — the reachable-space leaf), at a dead end
+    (empty CL), or when the budget — i.e. the quantum ``Q_s(j)`` — is
+    exhausted.  Returns the deepest feasible vertex seen, whose path is a
+    feasible (partial) schedule at any interruption point.
+    """
+    root = make_root(ctx.initial_offsets)
+    cl = CandidateList(max_size=max_candidates)
+    cl.push_block([root])
+    best = root
+    stats = SearchStats()
+    iterations = 0
+    while not budget.exhausted():
+        if max_iterations is not None and iterations >= max_iterations:
+            break
+        iterations += 1
+        vertex = cl.pop()
+        if vertex is None:
+            stats.dead_end = True
+            break
+        if vertex.depth >= ctx.n:
+            best = vertex
+            stats.complete = True
+            break
+        expansion = expander.successors(vertex, ctx, budget, stats)
+        stats.expansions += 1
+        if not expansion.successors:
+            if expansion.exhaustive:
+                # Maximal partial schedule: nothing unscheduled fits on any
+                # processor below this vertex.  Further sibling exploration
+                # could only rearrange, not extend — end the phase so the
+                # schedule is delivered early (sigma <= Q_s).
+                if _is_better(vertex, best):
+                    best = vertex
+                stats.maximal = True
+                break
+            stats.backtracks += 1
+            continue
+        for succ in expansion.successors:
+            if _is_better(succ, best):
+                best = succ
+        cl.push_block(expansion.successors)
+    stats.max_depth = best.depth
+    stats.processors_touched = len(
+        {v.processor for v in best.path()}
+    )
+    return SearchOutcome(
+        best=best,
+        stats=stats,
+        time_used=min(budget.used(), ctx.quantum),
+        candidates_dropped=cl.dropped,
+    )

@@ -1,0 +1,114 @@
+"""Relational schema of the paper's evaluation database.
+
+The global database has 10 attributes; it is divided into ``d``
+sub-databases whose attribute domains are **disjoint from each other**
+(paper Section 5.1), which lets any attribute value be located in exactly
+one sub-database.  We realize disjointness with interval encoding: attribute
+``a`` of sub-database ``s`` draws values from
+``[base(s, a), base(s, a) + domain_size)``, where the bases tile the integer
+line without overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+#: Paper defaults (Section 5.1).
+DEFAULT_NUM_ATTRIBUTES = 10
+DEFAULT_KEY_ATTRIBUTE = 0  # "indexed according to a specific key attribute"
+DEFAULT_DOMAIN_SIZE = 100
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A half-open integer interval ``[low, high)`` of attribute values."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.high <= self.low:
+            raise ValueError(f"empty domain [{self.low}, {self.high})")
+
+    @property
+    def size(self) -> int:
+        return self.high - self.low
+
+    def __contains__(self, value: int) -> bool:
+        return self.low <= value < self.high
+
+    def sample(self, rng) -> int:
+        """Uniformly distributed value from the domain (paper Section 5.1)."""
+        return rng.randrange(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Shape of the partitioned database: attribute count and domain layout."""
+
+    num_subdatabases: int
+    num_attributes: int = DEFAULT_NUM_ATTRIBUTES
+    domain_size: int = DEFAULT_DOMAIN_SIZE
+    key_attribute: int = DEFAULT_KEY_ATTRIBUTE
+
+    def __post_init__(self) -> None:
+        if self.num_subdatabases <= 0:
+            raise ValueError("num_subdatabases must be positive")
+        if self.num_attributes <= 0:
+            raise ValueError("num_attributes must be positive")
+        if self.domain_size <= 0:
+            raise ValueError("domain_size must be positive")
+        if not 0 <= self.key_attribute < self.num_attributes:
+            raise ValueError(
+                f"key_attribute {self.key_attribute} outside "
+                f"[0, {self.num_attributes})"
+            )
+
+    def domain_for(self, subdb: int, attribute: int) -> Domain:
+        """Domain of ``attribute`` within sub-database ``subdb``.
+
+        Sub-databases tile the value space: sub-database ``s`` owns the
+        block ``[s * A * D, (s+1) * A * D)`` split into one ``D``-sized
+        slice per attribute, so every value identifies both its
+        sub-database and its attribute.
+        """
+        self._check(subdb, attribute)
+        base = (subdb * self.num_attributes + attribute) * self.domain_size
+        return Domain(base, base + self.domain_size)
+
+    def subdb_of_value(self, value: int) -> int:
+        """Sub-database owning ``value`` (the disjointness decode)."""
+        if value < 0:
+            raise ValueError(f"attribute values are non-negative, got {value}")
+        subdb = value // (self.num_attributes * self.domain_size)
+        if subdb >= self.num_subdatabases:
+            raise ValueError(f"value {value} outside every sub-database")
+        return subdb
+
+    def attribute_of_value(self, value: int) -> int:
+        """Attribute slot the value belongs to (sanity checks in tests)."""
+        if value < 0:
+            raise ValueError(f"attribute values are non-negative, got {value}")
+        return (value // self.domain_size) % self.num_attributes
+
+    def key_domain(self, subdb: int) -> Domain:
+        """Domain of the key attribute within ``subdb``."""
+        return self.domain_for(subdb, self.key_attribute)
+
+    def all_domains(self, subdb: int) -> List[Domain]:
+        """Domains of every attribute of ``subdb``, in attribute order."""
+        return [
+            self.domain_for(subdb, attribute)
+            for attribute in range(self.num_attributes)
+        ]
+
+    def _check(self, subdb: int, attribute: int) -> None:
+        if not 0 <= subdb < self.num_subdatabases:
+            raise ValueError(
+                f"subdb {subdb} outside [0, {self.num_subdatabases})"
+            )
+        if not 0 <= attribute < self.num_attributes:
+            raise ValueError(
+                f"attribute {attribute} outside [0, {self.num_attributes})"
+            )

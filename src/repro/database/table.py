@@ -1,0 +1,178 @@
+"""Sub-database storage: tuples in a processor's local memory.
+
+Each sub-database holds ``records_per_subdb`` tuples of ``num_attributes``
+integer values (paper: 1000 records, 10 attributes), with every value drawn
+uniformly from the attribute's (sub-database-local, disjoint) domain.  A
+per-sub-database key index accelerates key lookups, mirroring "the
+sub-databases are indexed according to a specific key attribute".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Tuple
+
+from .schema import Schema
+
+#: Paper default: each sub-database holds 1000 records.
+DEFAULT_RECORDS_PER_SUBDB = 1000
+
+Row = Tuple[int, ...]
+
+
+class SubDatabase:
+    """One partition of the global database, resident in local memory."""
+
+    def __init__(self, subdb_id: int, schema: Schema, rows: List[Row]) -> None:
+        if not 0 <= subdb_id < schema.num_subdatabases:
+            raise ValueError(
+                f"subdb_id {subdb_id} outside schema with "
+                f"{schema.num_subdatabases} sub-databases"
+            )
+        self.subdb_id = subdb_id
+        self.schema = schema
+        self.rows = rows
+        self._validate_rows()
+        self._key_index = self._build_key_index()
+
+    def _validate_rows(self) -> None:
+        domains = self.schema.all_domains(self.subdb_id)
+        for row in self.rows:
+            if len(row) != self.schema.num_attributes:
+                raise ValueError(
+                    f"row has {len(row)} values, schema expects "
+                    f"{self.schema.num_attributes}"
+                )
+            for attribute, value in enumerate(row):
+                if value not in domains[attribute]:
+                    raise ValueError(
+                        f"value {value} outside domain of attribute "
+                        f"{attribute} in sub-database {self.subdb_id}"
+                    )
+
+    def _build_key_index(self) -> Dict[int, List[int]]:
+        index: Dict[int, List[int]] = {}
+        key = self.schema.key_attribute
+        for position, row in enumerate(self.rows):
+            index.setdefault(row[key], []).append(position)
+        return index
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def key_frequency(self, key_value: int) -> int:
+        """How many rows carry ``key_value`` in the key attribute."""
+        return len(self._key_index.get(key_value, ()))
+
+    def key_frequencies(self) -> Dict[int, int]:
+        """Frequency of every key value present (feeds the global index)."""
+        return {value: len(rows) for value, rows in self._key_index.items()}
+
+    def rows_with_key(self, key_value: int) -> List[Row]:
+        """Rows matching a key value, via the local key index."""
+        return [self.rows[pos] for pos in self._key_index.get(key_value, ())]
+
+    def scan(self, predicates: Mapping[int, int]) -> List[Row]:
+        """Full scan: rows matching every ``attribute == value`` predicate."""
+        matches = []
+        items = tuple(predicates.items())
+        for row in self.rows:
+            if all(row[attribute] == value for attribute, value in items):
+                matches.append(row)
+        return matches
+
+    def apply_update(
+        self, predicates: Mapping[int, int], updates: Mapping[int, int]
+    ) -> Tuple[int, Dict[int, int]]:
+        """Mutate every row matching ``predicates`` with ``updates``.
+
+        Returns ``(rows_changed, key_frequency_deltas)``; the deltas map
+        key values to their frequency change so the host's global index can
+        be maintained incrementally.  The local key index is updated in
+        place.
+        """
+        key = self.schema.key_attribute
+        matches, _ = self.probe(predicates)
+        if not matches:
+            return 0, {}
+        match_set = {id(row) for row in matches}
+        deltas: Dict[int, int] = {}
+        changed = 0
+        new_rows: List[Row] = []
+        for row in self.rows:
+            if id(row) not in match_set:
+                new_rows.append(row)
+                continue
+            new_row = tuple(
+                updates.get(attribute, value)
+                for attribute, value in enumerate(row)
+            )
+            if new_row != row:
+                changed += 1
+                if new_row[key] != row[key]:
+                    deltas[row[key]] = deltas.get(row[key], 0) - 1
+                    deltas[new_row[key]] = deltas.get(new_row[key], 0) + 1
+            new_rows.append(new_row)
+        self.rows = new_rows
+        self._validate_rows()
+        self._key_index = self._build_key_index()
+        return changed, {k: d for k, d in deltas.items() if d}
+
+    def probe_first_match(
+        self, predicates: Mapping[int, int]
+    ) -> Tuple[Row | None, int]:
+        """Stop at the first fully matching tuple; returns (match, checked).
+
+        The early-exit variant of the checking process used by the
+        resource-reclaiming execution model: a "locate a record" query
+        terminates as soon as one tuple satisfies every predicate.  The
+        worst case (the host's estimate) occurs when nothing matches.
+        """
+        key = self.schema.key_attribute
+        items = tuple(predicates.items())
+        if key in predicates:
+            candidates = self.rows_with_key(predicates[key])
+        else:
+            candidates = self.rows
+        checked = 0
+        for row in candidates:
+            checked += 1
+            if all(row[attribute] == value for attribute, value in items):
+                return row, checked
+        return None, checked
+
+    def probe(self, predicates: Mapping[int, int]) -> Tuple[List[Row], int]:
+        """Index-assisted evaluation; returns (matches, tuples_checked).
+
+        If the key attribute appears among the predicates, only rows with
+        the matching key value are checked (the worst-case count the global
+        index predicts); otherwise the whole partition is scanned.
+        """
+        key = self.schema.key_attribute
+        if key in predicates:
+            candidates = self.rows_with_key(predicates[key])
+            items = tuple(predicates.items())
+            matches = [
+                row
+                for row in candidates
+                if all(row[attribute] == value for attribute, value in items)
+            ]
+            return matches, len(candidates)
+        return self.scan(predicates), len(self.rows)
+
+
+def generate_subdatabase(
+    subdb_id: int,
+    schema: Schema,
+    records: int = DEFAULT_RECORDS_PER_SUBDB,
+    rng: random.Random | None = None,
+) -> SubDatabase:
+    """Populate one sub-database with uniformly distributed values."""
+    if records <= 0:
+        raise ValueError("records must be positive")
+    rng = rng or random.Random(subdb_id)
+    domains = schema.all_domains(subdb_id)
+    rows = [
+        tuple(domain.sample(rng) for domain in domains) for _ in range(records)
+    ]
+    return SubDatabase(subdb_id=subdb_id, schema=schema, rows=rows)

@@ -1,0 +1,145 @@
+"""Read-only transactions: the tasks of the evaluation application.
+
+A transaction is "characterized by the attribute values that transaction
+aims to locate in the distributed database" (paper Section 5): a conjunction
+of ``attribute == value`` predicates whose values all come from one
+sub-database's (disjoint) domains.  Executing it means iterating a checking
+process over the tuples that partially match — all ``r/d`` partition tuples,
+or only the key-matching ones when the key attribute is among the given
+values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from .schema import Schema
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One read-only query over the distributed database."""
+
+    txn_id: int
+    predicates: Mapping[int, int]  # attribute index -> required value
+    arrival_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.predicates:
+            raise ValueError(f"transaction {self.txn_id} has no predicates")
+        if any(attribute < 0 for attribute in self.predicates):
+            raise ValueError("attribute indices must be non-negative")
+        # Freeze the mapping so transactions stay hashable value objects.
+        object.__setattr__(self, "predicates", dict(self.predicates))
+
+    def attributes(self) -> tuple:
+        """Attribute indices with given values (the set ``F`` of the paper)."""
+        return tuple(sorted(self.predicates))
+
+    def gives_key(self, schema: Schema) -> bool:
+        """Whether the key attribute is among the given values."""
+        return schema.key_attribute in self.predicates
+
+    def key_value(self, schema: Schema) -> int:
+        """The given key value; raises if the key attribute is not given."""
+        try:
+            return self.predicates[schema.key_attribute]
+        except KeyError:
+            raise ValueError(
+                f"transaction {self.txn_id} does not give a key value"
+            ) from None
+
+    def target_subdb(self, schema: Schema) -> int:
+        """Sub-database the transaction must run against.
+
+        All predicate values are drawn from one sub-database's domains
+        (domains are disjoint), so any value identifies the target.  A
+        transaction mixing sub-databases is malformed and rejected.
+        """
+        owners = {
+            schema.subdb_of_value(value) for value in self.predicates.values()
+        }
+        if len(owners) != 1:
+            raise ValueError(
+                f"transaction {self.txn_id} references values from "
+                f"sub-databases {sorted(owners)}; domains are disjoint so a "
+                "transaction targets exactly one"
+            )
+        return owners.pop()
+
+    @property
+    def is_write(self) -> bool:
+        """Whether executing this transaction mutates the database."""
+        return False
+
+    def validate_against(self, schema: Schema) -> None:
+        """Full well-formedness check against a schema."""
+        subdb = self.target_subdb(schema)
+        for attribute, value in self.predicates.items():
+            if attribute >= schema.num_attributes:
+                raise ValueError(
+                    f"transaction {self.txn_id}: attribute {attribute} "
+                    f"outside schema of {schema.num_attributes} attributes"
+                )
+            if value not in schema.domain_for(subdb, attribute):
+                raise ValueError(
+                    f"transaction {self.txn_id}: value {value} outside the "
+                    f"domain of attribute {attribute} in sub-database {subdb}"
+                )
+
+
+@dataclass(frozen=True)
+class UpdateTransaction(Transaction):
+    """A read-write transaction: predicates select rows, updates mutate them.
+
+    Lifts the paper's read-only simplification.  All updated values must
+    come from the *same* sub-database's domains as the predicates (the
+    disjoint-domain layout makes cross-partition updates meaningless), and
+    updates to the key attribute are legal — the local key index and the
+    host's global index file are maintained on apply.
+    """
+
+    updates: Mapping[int, int] = None  # attribute index -> new value
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.updates:
+            raise ValueError(
+                f"update transaction {self.txn_id} has no updates"
+            )
+        if any(attribute < 0 for attribute in self.updates):
+            raise ValueError("updated attribute indices must be non-negative")
+        object.__setattr__(self, "updates", dict(self.updates))
+
+    @property
+    def is_write(self) -> bool:
+        return True
+
+    def target_subdb(self, schema: Schema) -> int:
+        owners = {
+            schema.subdb_of_value(value)
+            for value in (*self.predicates.values(), *self.updates.values())
+        }
+        if len(owners) != 1:
+            raise ValueError(
+                f"update transaction {self.txn_id} mixes values from "
+                f"sub-databases {sorted(owners)}"
+            )
+        return owners.pop()
+
+    def validate_against(self, schema: Schema) -> None:
+        super().validate_against(schema)
+        subdb = self.target_subdb(schema)
+        for attribute, value in self.updates.items():
+            if attribute >= schema.num_attributes:
+                raise ValueError(
+                    f"update transaction {self.txn_id}: attribute "
+                    f"{attribute} outside schema"
+                )
+            if value not in schema.domain_for(subdb, attribute):
+                raise ValueError(
+                    f"update transaction {self.txn_id}: new value {value} "
+                    f"outside the domain of attribute {attribute} in "
+                    f"sub-database {subdb}"
+                )

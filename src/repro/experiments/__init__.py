@@ -1,0 +1,67 @@
+"""Experiment harness: configs, runners, and figure reproductions."""
+
+from .config import (
+    PROCESSOR_SWEEP,
+    REPLICATION_SWEEP,
+    SLACK_FACTOR_SWEEP,
+    ExperimentConfig,
+)
+from .extensions import (
+    ablation_interconnect,
+    extension_load_sweep,
+    extension_failures,
+    extension_reclaiming,
+    extension_write_mix,
+)
+from .figures import (
+    AblationResult,
+    LaxitySweepResult,
+    OverheadResult,
+    SweepResult,
+    ablation_cost,
+    ablation_memory,
+    ablation_quantum,
+    ablation_representation,
+    figure5,
+    figure6,
+    laxity_sweep,
+    overhead_table,
+)
+from .runner import (
+    SCHEDULER_NAMES,
+    CellResult,
+    build_scheduler,
+    build_workload,
+    run_cell,
+    run_once,
+)
+
+__all__ = [
+    "AblationResult",
+    "CellResult",
+    "ExperimentConfig",
+    "LaxitySweepResult",
+    "OverheadResult",
+    "PROCESSOR_SWEEP",
+    "REPLICATION_SWEEP",
+    "SCHEDULER_NAMES",
+    "SLACK_FACTOR_SWEEP",
+    "SweepResult",
+    "ablation_cost",
+    "ablation_interconnect",
+    "ablation_memory",
+    "ablation_quantum",
+    "ablation_representation",
+    "build_scheduler",
+    "extension_failures",
+    "extension_load_sweep",
+    "extension_reclaiming",
+    "extension_write_mix",
+    "build_workload",
+    "figure5",
+    "figure6",
+    "laxity_sweep",
+    "overhead_table",
+    "run_cell",
+    "run_once",
+]

@@ -1,0 +1,158 @@
+"""Command-line interface: regenerate any experiment from a terminal.
+
+Examples::
+
+    python -m repro.experiments fig5 --quick
+    python -m repro.experiments fig6 --paper
+    python -m repro.experiments laxity --quick --runs 2
+    python -m repro.experiments overhead --quick
+    python -m repro.experiments ablate-quantum --quick
+    python -m repro.experiments all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from .config import ExperimentConfig
+from .extensions import (
+    ablation_interconnect,
+    extension_load_sweep,
+    extension_failures,
+    extension_reclaiming,
+    extension_write_mix,
+)
+from .figures import (
+    ablation_cost,
+    ablation_memory,
+    ablation_quantum,
+    ablation_representation,
+    figure5,
+    figure6,
+    laxity_sweep,
+    overhead_table,
+)
+
+EXPERIMENTS = (
+    "fig5",
+    "fig6",
+    "laxity",
+    "overhead",
+    "ablate-quantum",
+    "ablate-cost",
+    "ablate-representation",
+    "ablate-interconnect",
+    "ablate-memory",
+    "reclaiming",
+    "load-sweep",
+    "write-mix",
+    "failures",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation of 'A Scalable Scheduling Algorithm "
+            "for Real-Time Distributed Systems' (ICDCS 1998)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which experiment to run",
+    )
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--paper",
+        action="store_true",
+        help="full Section-5.1 scale (1000 transactions, 10 runs; slow)",
+    )
+    scale.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI scale preserving cost ratios (default)",
+    )
+    parser.add_argument("--runs", type=int, help="override repetitions per cell")
+    parser.add_argument(
+        "--transactions", type=int, help="override transaction count"
+    )
+    parser.add_argument("--seed", type=int, help="override base seed")
+    parser.add_argument(
+        "--processors", type=int, help="override fixed processor count"
+    )
+    parser.add_argument(
+        "--replication", type=float, help="override fixed replication rate"
+    )
+    parser.add_argument(
+        "--slack-factor", type=float, help="override slack factor SF"
+    )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    config = (
+        ExperimentConfig.paper() if args.paper else ExperimentConfig.quick()
+    )
+    overrides = {}
+    if args.runs is not None:
+        overrides["runs"] = args.runs
+    if args.transactions is not None:
+        overrides["num_transactions"] = args.transactions
+    if args.seed is not None:
+        overrides["base_seed"] = args.seed
+    if args.processors is not None:
+        overrides["num_processors"] = args.processors
+    if args.replication is not None:
+        overrides["replication_rate"] = args.replication
+    if args.slack_factor is not None:
+        overrides["slack_factor"] = args.slack_factor
+    return replace(config, **overrides) if overrides else config
+
+
+def run_experiment(name: str, config: ExperimentConfig) -> str:
+    if name == "fig5":
+        return figure5(config).render()
+    if name == "fig6":
+        return figure6(config).render()
+    if name == "laxity":
+        return laxity_sweep(config).render()
+    if name == "overhead":
+        return overhead_table(config).render()
+    if name == "ablate-quantum":
+        return ablation_quantum(config).render()
+    if name == "ablate-cost":
+        return ablation_cost(config).render()
+    if name == "ablate-representation":
+        return ablation_representation(config).render()
+    if name == "ablate-interconnect":
+        return ablation_interconnect(config).render()
+    if name == "ablate-memory":
+        return ablation_memory(config).render()
+    if name == "reclaiming":
+        return extension_reclaiming(config).render()
+    if name == "load-sweep":
+        return extension_load_sweep(config).render()
+    if name == "write-mix":
+        return extension_write_mix(config).render()
+    if name == "failures":
+        return extension_failures(config).render()
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = config_from_args(args)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(run_experiment(name, config))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

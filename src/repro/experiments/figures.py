@@ -1,0 +1,490 @@
+"""Reproduction of every figure and measurement in the paper's evaluation.
+
+Each function regenerates one experiment (see DESIGN.md Section 4):
+
+* :func:`figure5`  — deadline scalability vs processors (paper Figure 5)
+* :func:`figure6`  — deadline compliance vs replication rate (paper Figure 6)
+* :func:`laxity_sweep` — the SF in {1, 2, 3} sweep the text describes (E3)
+* :func:`overhead_table` — the scheduling-cost measurement (E4), including
+  the wall-clock distortion study motivating the virtual budget
+* :func:`ablation_quantum`, :func:`ablation_cost`,
+  :func:`ablation_representation` — design-choice ablations A1-A3
+
+All return result objects carrying a :class:`~repro.metrics.reporting.FigureData`
+(or table rows) plus a ``render()`` method producing the printable report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.affinity import UniformCommunicationModel
+from ..core.cost import get_evaluator
+from ..core.quantum import (
+    FixedQuantum,
+    LoadOnlyQuantum,
+    SelfAdjustingQuantum,
+    SlackOnlyQuantum,
+)
+from ..core.representations import AssignmentOrientedExpander
+from ..core.search import PhaseContext, WallClockBudget, run_search
+from ..core.cost import LoadBalancingEvaluator
+from ..metrics.reporting import (
+    FigureData,
+    ascii_chart,
+    format_figure,
+    format_table,
+)
+from ..metrics.stats import difference_of_means
+from .config import (
+    PROCESSOR_SWEEP,
+    REPLICATION_SWEEP,
+    SLACK_FACTOR_SWEEP,
+    ExperimentConfig,
+)
+from .runner import CellResult, build_workload, run_cell
+
+#: Display names used in figures, matching the paper's legends.
+DISPLAY_NAMES = {
+    "rtsads": "RT-SADS",
+    "dcols": "D-COLS",
+    "greedy_edf": "Greedy-EDF",
+    "myopic": "Myopic",
+    "random": "Random",
+}
+
+
+@dataclass
+class SweepResult:
+    """A reproduced figure: the series plus per-cell aggregates."""
+
+    figure: FigureData
+    cells: Dict[Tuple[str, float], CellResult]
+    significance: List[str] = field(default_factory=list)
+
+    def render(self, chart: bool = True) -> str:
+        parts = [format_figure(self.figure)]
+        if chart:
+            parts.append("")
+            parts.append(ascii_chart(self.figure))
+        if self.significance:
+            parts.append("")
+            parts.extend(self.significance)
+        return "\n".join(parts)
+
+
+def _run_sweep(
+    title: str,
+    x_label: str,
+    x_values: Sequence[float],
+    configs: Sequence[ExperimentConfig],
+    schedulers: Sequence[str],
+    notes: Sequence[str] = (),
+) -> SweepResult:
+    """Shared machinery: one cell per (scheduler, x), stats across pairs."""
+    figure = FigureData(
+        title=title, x_label=x_label, x_values=list(x_values), notes=list(notes)
+    )
+    cells: Dict[Tuple[str, float], CellResult] = {}
+    for name in schedulers:
+        values = []
+        for x, config in zip(x_values, configs):
+            cell = run_cell(config, name)
+            cells[(name, x)] = cell
+            values.append(cell.mean_hit_percent)
+        figure.add_series(DISPLAY_NAMES.get(name, name), values)
+    significance = []
+    if len(schedulers) >= 2 and configs and configs[0].runs >= 2:
+        first, second = schedulers[0], schedulers[1]
+        for x in x_values:
+            test = difference_of_means(
+                cells[(first, x)].hit_percents,
+                cells[(second, x)].hit_percents,
+                significance_level=configs[0].significance_level,
+            )
+            verdict = "significant" if test.significant else "not significant"
+            significance.append(
+                f"{x_label}={x}: mean diff "
+                f"{test.mean_difference:+.2f} pts, p={test.p_value:.4f} "
+                f"({verdict} at {configs[0].significance_level})"
+            )
+    return SweepResult(figure=figure, cells=cells, significance=significance)
+
+
+def figure5(
+    config: Optional[ExperimentConfig] = None,
+    processors: Sequence[int] = PROCESSOR_SWEEP,
+    schedulers: Sequence[str] = ("rtsads", "dcols"),
+) -> SweepResult:
+    """Paper Figure 5: deadline scalability (R=30%, SF=1, m=2..10)."""
+    config = config or ExperimentConfig.paper()
+    configs = [config.with_processors(m) for m in processors]
+    return _run_sweep(
+        title=(
+            "Figure 5 - Deadline scalability "
+            f"(R={config.replication_rate:.0%}, SF={config.slack_factor:g})"
+        ),
+        x_label="processors",
+        x_values=list(processors),
+        configs=configs,
+        schedulers=schedulers,
+        notes=[
+            "y values are mean deadline hit ratios (%) over "
+            f"{config.runs} runs",
+        ],
+    )
+
+
+def figure6(
+    config: Optional[ExperimentConfig] = None,
+    replication_rates: Sequence[float] = REPLICATION_SWEEP,
+    schedulers: Sequence[str] = ("rtsads", "dcols"),
+) -> SweepResult:
+    """Paper Figure 6: compliance vs replication rate (P=10, SF=1)."""
+    config = config or ExperimentConfig.paper()
+    configs = [config.with_replication(r) for r in replication_rates]
+    return _run_sweep(
+        title=(
+            "Figure 6 - Deadline compliance vs replication rate "
+            f"(P={config.num_processors}, SF={config.slack_factor:g})"
+        ),
+        x_label="replication",
+        x_values=list(replication_rates),
+        configs=configs,
+        schedulers=schedulers,
+        notes=[
+            "y values are mean deadline hit ratios (%) over "
+            f"{config.runs} runs",
+        ],
+    )
+
+
+@dataclass
+class LaxitySweepResult:
+    """E3: one Figure-5-style sweep per slack factor."""
+
+    sweeps: Dict[float, SweepResult]
+
+    def render(self) -> str:
+        parts = []
+        for slack_factor in sorted(self.sweeps):
+            parts.append(self.sweeps[slack_factor].render(chart=False))
+            parts.append("")
+        return "\n".join(parts).rstrip()
+
+
+def laxity_sweep(
+    config: Optional[ExperimentConfig] = None,
+    slack_factors: Sequence[float] = SLACK_FACTOR_SWEEP,
+    processors: Sequence[int] = PROCESSOR_SWEEP,
+    schedulers: Sequence[str] = ("rtsads", "dcols"),
+) -> LaxitySweepResult:
+    """Section 5.1's "SF values range from 1 to 3" across the m sweep."""
+    config = config or ExperimentConfig.paper()
+    sweeps = {}
+    for slack_factor in slack_factors:
+        sf_config = config.with_slack_factor(slack_factor)
+        configs = [sf_config.with_processors(m) for m in processors]
+        sweeps[slack_factor] = _run_sweep(
+            title=(
+                f"Laxity sweep - SF={slack_factor:g} "
+                f"(R={config.replication_rate:.0%})"
+            ),
+            x_label="processors",
+            x_values=list(processors),
+            configs=configs,
+            schedulers=schedulers,
+        )
+    return LaxitySweepResult(sweeps=sweeps)
+
+
+#: Assumed wall-clock duration of one tuple-checking iteration (= 1 virtual
+#: time unit) on period hardware, used only to express the CPython
+#: distortion in comparable terms.  A mid-90s i860 node compares ~10 integer
+#: attribute values with memory traffic in roughly a microsecond.
+ASSUMED_CHECK_SECONDS = 1e-6
+
+
+@dataclass
+class OverheadResult:
+    """E4: scheduling-cost measurement plus the CPython distortion study."""
+
+    rows: List[List[object]]
+    measured_per_vertex_seconds: float
+    modelled_per_vertex_cost: float
+
+    @property
+    def distortion_factor(self) -> float:
+        """How much CPython inflates per-vertex cost vs the modelled host.
+
+        The model says a vertex costs ``kappa`` checking iterations; under
+        the assumed iteration duration that is ``kappa *
+        ASSUMED_CHECK_SECONDS`` wall-clock.  CPython's measured per-vertex
+        time divided by that is the inflation a wall-clock quantum would
+        suffer — the timing distortion the virtual budget removes.
+        """
+        modelled_seconds = self.modelled_per_vertex_cost * ASSUMED_CHECK_SECONDS
+        if modelled_seconds <= 0:
+            return float("nan")
+        return self.measured_per_vertex_seconds / modelled_seconds
+
+    def render(self) -> str:
+        headers = [
+            "algorithm",
+            "phases",
+            "mean Q_s",
+            "mean used",
+            "total sched time",
+            "sched/makespan %",
+        ]
+        table = format_table(headers, self.rows)
+        return "\n".join(
+            [
+                "E4 - Scheduling cost (virtual time units)",
+                table,
+                "",
+                "Wall-clock distortion study (why the budget is virtual):",
+                f"  measured CPython cost per search vertex: "
+                f"{self.measured_per_vertex_seconds * 1e6:.1f} us",
+                f"  modelled per-vertex cost: "
+                f"{self.modelled_per_vertex_cost:g} checking iterations "
+                f"(~{self.modelled_per_vertex_cost * ASSUMED_CHECK_SECONDS * 1e6:.3f} us "
+                "at 1 us per iteration on period hardware)",
+                f"  => wall-clock quanta in CPython would inflate per-vertex "
+                f"scheduling cost ~{self.distortion_factor:,.0f}x relative to "
+                "the modelled host — the interpreter distortion the virtual "
+                "budget removes.",
+            ]
+        )
+
+
+def _measure_wall_clock_vertex_cost(
+    config: ExperimentConfig, budget_seconds: float = 0.05
+) -> float:
+    """Seconds per vertex when a real phase runs under a wall-clock budget."""
+    _, tasks = build_workload(config, config.base_seed)
+    comm = UniformCommunicationModel(config.remote_cost)
+    ordered = sorted(tasks, key=lambda t: (t.deadline, t.task_id))
+    ctx = PhaseContext(
+        tasks=ordered,
+        num_processors=config.num_processors,
+        comm=comm,
+        phase_start=0.0,
+        quantum=float("inf"),
+        initial_offsets=(0.0,) * config.num_processors,
+        evaluator=LoadBalancingEvaluator(),
+    )
+    budget = WallClockBudget(quantum_seconds=budget_seconds)
+    start = time.perf_counter()
+    run_search(ctx, AssignmentOrientedExpander(), budget)
+    elapsed = time.perf_counter() - start
+    vertices = max(1, budget.vertices_charged)
+    return elapsed / vertices
+
+
+def overhead_table(
+    config: Optional[ExperimentConfig] = None,
+    schedulers: Sequence[str] = ("rtsads", "dcols"),
+) -> OverheadResult:
+    """E4: per-phase scheduling time under the virtual budget, both sides."""
+    config = config or ExperimentConfig.paper()
+    rows: List[List[object]] = []
+    for name in schedulers:
+        cell = run_cell(config, name)
+        total_sched = sum(cell.scheduling_times) / len(cell.scheduling_times)
+        makespan = sum(cell.makespans) / len(cell.makespans)
+        # Per-phase means come from a single representative run.
+        from .runner import run_once
+
+        result = run_once(config, name, config.base_seed)
+        phases = result.phases
+        mean_quantum = (
+            sum(p.quantum for p in phases) / len(phases) if phases else 0.0
+        )
+        mean_used = (
+            sum(p.time_used for p in phases) / len(phases) if phases else 0.0
+        )
+        rows.append(
+            [
+                DISPLAY_NAMES.get(name, name),
+                len(phases),
+                mean_quantum,
+                mean_used,
+                total_sched,
+                100.0 * total_sched / makespan if makespan else 0.0,
+            ]
+        )
+    return OverheadResult(
+        rows=rows,
+        measured_per_vertex_seconds=_measure_wall_clock_vertex_cost(config),
+        modelled_per_vertex_cost=config.per_vertex_cost,
+    )
+
+
+@dataclass
+class AblationResult:
+    """A table of variants of one design choice."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+
+    def render(self) -> str:
+        return "\n".join([self.title, format_table(self.headers, self.rows)])
+
+
+def ablation_quantum(
+    config: Optional[ExperimentConfig] = None,
+) -> AblationResult:
+    """A1: the self-adjusting quantum vs fixed and single-term policies."""
+    config = config or ExperimentConfig.paper()
+    # Three fixed strawmen: "tiny" cannot complete even one task probe per
+    # phase, "medium" is a hand-tuned sweet spot, "long" pushes the
+    # feasibility bound so far out that waiting tasks expire.  The paper's
+    # criterion needs no tuning and must beat both degenerate extremes.
+    tiny_fixed = 10 * config.per_vertex_cost
+    medium_fixed = max(2.0, 100 * config.per_vertex_cost)
+    long_fixed = 2.0 * config.scan_cost
+    policies = [
+        ("self-adjusting (paper)", SelfAdjustingQuantum()),
+        ("slack-only", SlackOnlyQuantum()),
+        ("load-only", LoadOnlyQuantum()),
+        (f"fixed tiny ({tiny_fixed:g})", FixedQuantum(tiny_fixed)),
+        (f"fixed medium ({medium_fixed:g})", FixedQuantum(medium_fixed)),
+        (f"fixed long ({long_fixed:g})", FixedQuantum(long_fixed)),
+    ]
+    rows = []
+    for label, policy in policies:
+        cell = run_cell(config, "rtsads", quantum_policy=policy)
+        rows.append(
+            [
+                label,
+                cell.mean_hit_percent,
+                cell.mean_dead_end_rate * 100,
+                cell.mean_depth,
+                sum(cell.scheduling_times) / len(cell.scheduling_times),
+            ]
+        )
+    return AblationResult(
+        title=(
+            "A1 - Quantum allocation policies (RT-SADS, "
+            f"P={config.num_processors}, R={config.replication_rate:.0%}, "
+            f"SF={config.slack_factor:g})"
+        ),
+        headers=[
+            "policy",
+            "hit ratio %",
+            "dead-end %",
+            "mean depth",
+            "total sched time",
+        ],
+        rows=rows,
+    )
+
+
+def ablation_cost(
+    config: Optional[ExperimentConfig] = None,
+) -> AblationResult:
+    """A2: cost function / heuristic choices for RT-SADS."""
+    config = config or ExperimentConfig.paper()
+    rows = []
+    for name in ("load_balancing", "earliest_finish", "min_slack", "fifo"):
+        cell = run_cell(config, "rtsads", evaluator=get_evaluator(name))
+        rows.append(
+            [
+                name,
+                cell.mean_hit_percent,
+                cell.mean_processors_touched,
+                cell.mean_depth,
+            ]
+        )
+    return AblationResult(
+        title=(
+            "A2 - Vertex evaluation functions (RT-SADS, "
+            f"P={config.num_processors}, R={config.replication_rate:.0%})"
+        ),
+        headers=["evaluator", "hit ratio %", "procs touched", "mean depth"],
+        rows=rows,
+    )
+
+
+def ablation_memory(
+    config: Optional[ExperimentConfig] = None,
+    cl_bounds: Sequence[Optional[int]] = (8, 64, 512, 4096, None),
+    scheduler_name: str = "rtsads",
+) -> AblationResult:
+    """A5: bounded scheduling memory (candidate-list size).
+
+    The paper stores every feasible successor in the candidate list CL; a
+    real host has finite scheduling memory, so our CL drops its oldest
+    (shallowest) candidates beyond a bound.  This sweep shows how small the
+    CL can get before schedule quality suffers — in practice depth-first
+    search rarely revisits old candidates, so tight bounds are nearly free.
+    """
+    from .runner import build_scheduler
+    from ..simulator.runtime import simulate
+
+    config = config or ExperimentConfig.paper()
+    rows = []
+    for bound in cl_bounds:
+        hits = []
+        for seed in config.seeds():
+            _, tasks = build_workload(config, seed)
+            comm = UniformCommunicationModel(config.remote_cost)
+            scheduler = build_scheduler(scheduler_name, config, comm)
+            scheduler.max_candidates = bound
+            result = simulate(
+                scheduler, tasks, num_workers=config.num_processors
+            )
+            hits.append(100.0 * result.hit_ratio)
+        label = "unbounded" if bound is None else str(bound)
+        rows.append([label, sum(hits) / len(hits)])
+    return AblationResult(
+        title=(
+            "A5 - Candidate-list memory bound "
+            f"({DISPLAY_NAMES.get(scheduler_name, scheduler_name)}, "
+            f"P={config.num_processors}, R={config.replication_rate:.0%})"
+        ),
+        headers=["CL bound", "hit ratio %"],
+        rows=rows,
+    )
+
+
+def ablation_representation(
+    config: Optional[ExperimentConfig] = None,
+) -> AblationResult:
+    """A3: representation-only comparison, validating Section 3's conjecture.
+
+    Everything else — quantum policy, evaluator, per-vertex cost — is held
+    identical; the table shows the dead-end rate, search depth, and number
+    of processors each representation manages to use per phase.
+    """
+    config = config or ExperimentConfig.paper()
+    rows = []
+    for name in ("rtsads", "dcols"):
+        cell = run_cell(config, name)
+        rows.append(
+            [
+                DISPLAY_NAMES[name],
+                cell.mean_hit_percent,
+                cell.mean_dead_end_rate * 100,
+                cell.mean_depth,
+                cell.mean_processors_touched,
+            ]
+        )
+    return AblationResult(
+        title=(
+            "A3 - Representation only (identical quantum/evaluator, "
+            f"P={config.num_processors}, R={config.replication_rate:.0%})"
+        ),
+        headers=[
+            "representation",
+            "hit ratio %",
+            "dead-end %",
+            "mean depth",
+            "procs touched/phase",
+        ],
+        rows=rows,
+    )

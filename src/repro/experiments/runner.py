@@ -1,0 +1,206 @@
+"""Experiment runner: build everything, run repetitions, aggregate.
+
+One *cell* is (config, scheduler); the runner builds the database, the
+transaction workload, the machine, and the scheduler from the config, runs
+the simulation ``config.runs`` times with distinct seeds, and aggregates hit
+ratios with the paper's statistics (mean, 99% CI).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.affinity import UniformCommunicationModel
+from ..core.baselines import GreedyEDFScheduler, MyopicScheduler, RandomScheduler
+from ..core.cost import VertexEvaluator
+from ..core.dcols import DCOLS
+from ..core.quantum import QuantumPolicy
+from ..core.rtsads import RTSADS
+from ..core.scheduler import Scheduler
+from ..database.database import DatabaseConfig, DistributedDatabase
+from ..metrics.compliance import compliance_report
+from ..metrics.stats import ConfidenceInterval, confidence_interval, mean
+from ..simulator.runtime import SimulationResult, simulate
+from ..workload.transactions import (
+    TransactionWorkloadConfig,
+    TransactionWorkloadGenerator,
+)
+from .config import ExperimentConfig
+
+#: Registry of scheduler builders: name -> (config, comm, overrides) -> Scheduler.
+SCHEDULER_NAMES = ("rtsads", "dcols", "greedy_edf", "myopic", "random")
+
+
+def build_scheduler(
+    name: str,
+    config: ExperimentConfig,
+    comm: UniformCommunicationModel,
+    evaluator: Optional[VertexEvaluator] = None,
+    quantum_policy: Optional[QuantumPolicy] = None,
+) -> Scheduler:
+    """Instantiate a scheduler by registry name with optional overrides."""
+    if name == "rtsads":
+        return RTSADS(
+            comm=comm,
+            evaluator=evaluator,
+            quantum_policy=quantum_policy,
+            per_vertex_cost=config.per_vertex_cost,
+        )
+    if name == "dcols":
+        return DCOLS(
+            comm=comm,
+            evaluator=evaluator,
+            quantum_policy=quantum_policy,
+            per_vertex_cost=config.per_vertex_cost,
+        )
+    if name == "greedy_edf":
+        return GreedyEDFScheduler(
+            comm=comm,
+            quantum_policy=quantum_policy,
+            per_vertex_cost=config.per_vertex_cost,
+        )
+    if name == "myopic":
+        return MyopicScheduler(
+            comm=comm,
+            quantum_policy=quantum_policy,
+            per_vertex_cost=config.per_vertex_cost,
+        )
+    if name == "random":
+        return RandomScheduler(
+            comm=comm,
+            quantum_policy=quantum_policy,
+            per_vertex_cost=config.per_vertex_cost,
+        )
+    raise ValueError(
+        f"unknown scheduler {name!r}; choose from {SCHEDULER_NAMES}"
+    )
+
+
+def build_workload(config: ExperimentConfig, seed: int):
+    """Database + tasks for one repetition; returns (database, task set)."""
+    rng = random.Random(seed)
+    database = DistributedDatabase.build(
+        config=DatabaseConfig(
+            num_subdatabases=config.num_subdatabases,
+            records_per_subdb=config.records_per_subdb,
+            num_attributes=config.num_attributes,
+            domain_size=config.domain_size,
+        ),
+        num_processors=config.num_processors,
+        replication_rate=config.replication_rate,
+        rng=rng,
+    )
+    generator = TransactionWorkloadGenerator(
+        database=database,
+        config=TransactionWorkloadConfig(
+            num_transactions=config.num_transactions,
+            slack_factor=config.slack_factor,
+            key_probability=config.key_probability,
+            seed=seed,
+        ),
+    )
+    return database, generator.generate_tasks()
+
+
+def run_once(
+    config: ExperimentConfig,
+    scheduler_name: str,
+    seed: int,
+    evaluator: Optional[VertexEvaluator] = None,
+    quantum_policy: Optional[QuantumPolicy] = None,
+    validate_phases: bool = False,
+) -> SimulationResult:
+    """One full simulation of one cell with one seed."""
+    comm = UniformCommunicationModel(remote_cost=config.remote_cost)
+    _, tasks = build_workload(config, seed)
+    scheduler = build_scheduler(
+        scheduler_name, config, comm,
+        evaluator=evaluator, quantum_policy=quantum_policy,
+    )
+    return simulate(
+        scheduler=scheduler,
+        workload=tasks,
+        num_workers=config.num_processors,
+        validate_phases=validate_phases,
+    )
+
+
+@dataclass
+class CellResult:
+    """Aggregate of all repetitions of one (config, scheduler) cell."""
+
+    scheduler_name: str
+    config: ExperimentConfig
+    hit_percents: List[float]
+    dead_end_rates: List[float]
+    mean_depths: List[float]
+    processors_touched: List[float]
+    scheduling_times: List[float]
+    makespans: List[float]
+    scheduled_but_missed: int
+
+    @property
+    def mean_hit_percent(self) -> float:
+        return mean(self.hit_percents)
+
+    def hit_ci(self) -> Optional[ConfidenceInterval]:
+        if len(self.hit_percents) < 2:
+            return None
+        return confidence_interval(self.hit_percents, self.config.confidence)
+
+    @property
+    def mean_dead_end_rate(self) -> float:
+        return mean(self.dead_end_rates)
+
+    @property
+    def mean_depth(self) -> float:
+        return mean(self.mean_depths)
+
+    @property
+    def mean_processors_touched(self) -> float:
+        return mean(self.processors_touched)
+
+
+def run_cell(
+    config: ExperimentConfig,
+    scheduler_name: str,
+    evaluator: Optional[VertexEvaluator] = None,
+    quantum_policy: Optional[QuantumPolicy] = None,
+) -> CellResult:
+    """Run every repetition of a cell and aggregate the paper's metrics."""
+    hit_percents: List[float] = []
+    dead_end_rates: List[float] = []
+    mean_depths: List[float] = []
+    processors_touched: List[float] = []
+    scheduling_times: List[float] = []
+    makespans: List[float] = []
+    missed = 0
+    for seed in config.seeds():
+        result = run_once(
+            config,
+            scheduler_name,
+            seed,
+            evaluator=evaluator,
+            quantum_policy=quantum_policy,
+        )
+        report = compliance_report(result.trace)
+        hit_percents.append(report.hit_percent)
+        dead_end_rates.append(result.trace.dead_end_rate())
+        mean_depths.append(result.trace.mean_depth())
+        processors_touched.append(result.trace.mean_processors_touched())
+        scheduling_times.append(result.trace.total_scheduling_time())
+        makespans.append(result.makespan)
+        missed += report.scheduled_but_missed
+    return CellResult(
+        scheduler_name=scheduler_name,
+        config=config,
+        hit_percents=hit_percents,
+        dead_end_rates=dead_end_rates,
+        mean_depths=mean_depths,
+        processors_touched=processors_touched,
+        scheduling_times=scheduling_times,
+        makespans=makespans,
+        scheduled_but_missed=missed,
+    )

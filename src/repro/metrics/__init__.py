@@ -1,0 +1,69 @@
+"""Metrics: deadline compliance, scalability, statistics, reporting."""
+
+from .compliance import (
+    ComplianceReport,
+    compliance_report,
+    hit_ratio_by_tag,
+    is_monotone_nondecreasing,
+    processor_balance,
+    scalability_gain,
+)
+from .export import (
+    export_figure,
+    figure_to_csv,
+    figure_to_json,
+    table_to_csv,
+    table_to_json,
+    write_text,
+)
+from .reporting import (
+    FigureData,
+    Series,
+    ascii_chart,
+    comparison_summary,
+    format_figure,
+    format_gantt,
+    format_table,
+)
+from .stats import (
+    ConfidenceInterval,
+    DifferenceOfMeansResult,
+    confidence_interval,
+    difference_of_means,
+    mean,
+    std_dev,
+    student_t_cdf,
+    student_t_quantile,
+    variance,
+)
+
+__all__ = [
+    "ComplianceReport",
+    "ConfidenceInterval",
+    "DifferenceOfMeansResult",
+    "FigureData",
+    "Series",
+    "ascii_chart",
+    "comparison_summary",
+    "compliance_report",
+    "confidence_interval",
+    "difference_of_means",
+    "export_figure",
+    "figure_to_csv",
+    "figure_to_json",
+    "format_figure",
+    "format_gantt",
+    "format_table",
+    "hit_ratio_by_tag",
+    "is_monotone_nondecreasing",
+    "mean",
+    "processor_balance",
+    "scalability_gain",
+    "std_dev",
+    "table_to_csv",
+    "table_to_json",
+    "student_t_cdf",
+    "student_t_quantile",
+    "variance",
+    "write_text",
+]

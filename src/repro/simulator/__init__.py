@@ -1,0 +1,86 @@
+"""Distributed-memory multiprocessor simulator (the Paragon substitute).
+
+A discrete-event simulation of the paper's deployment: ``m`` working
+processors with private memories execute non-preemptable tasks from FIFO
+ready queues while a dedicated host processor runs scheduling phases
+concurrently.  See DESIGN.md Section 2 for the substitution rationale.
+"""
+
+from .engine import SimulationEngine, SimulationError
+from .events import (
+    EventQueue,
+    HostWake,
+    ProcessorFailed,
+    ScheduleDelivered,
+    TaskArrived,
+    TaskFinished,
+)
+from .execution import (
+    ExecutionModelError,
+    ExecutionTimeModel,
+    FirstMatchDatabaseExecution,
+    ScaledExecution,
+    StochasticExecution,
+    WorstCaseExecution,
+    resolve_actual_cost,
+)
+from .interconnect import (
+    MeshCommunicationModel,
+    MeshTopology,
+    near_square_mesh,
+    wormhole_model,
+)
+from .machine import DEFAULT_REMOTE_COST, Machine, MachineConfig
+from .processor import QueuedWork, RunningWork, WorkerProcessor
+from .runtime import (
+    DEFAULT_MAX_EVENTS,
+    DistributedRuntime,
+    SimulationResult,
+    simulate,
+)
+from .trace import (
+    STATUS_COMPLETED,
+    STATUS_EXPIRED,
+    STATUS_FAILED,
+    PhaseTrace,
+    SimulationTrace,
+    TaskRecord,
+)
+
+__all__ = [
+    "DEFAULT_MAX_EVENTS",
+    "DEFAULT_REMOTE_COST",
+    "DistributedRuntime",
+    "EventQueue",
+    "ExecutionModelError",
+    "ExecutionTimeModel",
+    "FirstMatchDatabaseExecution",
+    "ScaledExecution",
+    "StochasticExecution",
+    "WorstCaseExecution",
+    "resolve_actual_cost",
+    "HostWake",
+    "Machine",
+    "MachineConfig",
+    "MeshCommunicationModel",
+    "MeshTopology",
+    "PhaseTrace",
+    "ProcessorFailed",
+    "QueuedWork",
+    "RunningWork",
+    "STATUS_COMPLETED",
+    "STATUS_EXPIRED",
+    "STATUS_FAILED",
+    "ScheduleDelivered",
+    "SimulationEngine",
+    "SimulationError",
+    "SimulationResult",
+    "SimulationTrace",
+    "TaskArrived",
+    "TaskFinished",
+    "TaskRecord",
+    "WorkerProcessor",
+    "near_square_mesh",
+    "simulate",
+    "wormhole_model",
+]

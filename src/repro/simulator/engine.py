@@ -1,0 +1,91 @@
+"""A small discrete-event simulation engine.
+
+Dispatches events in timestamp order to handlers registered per event type,
+advancing a monotonic virtual clock.  The engine is generic: the on-line
+scheduling runtime registers handlers for arrivals, phase completions, and
+task completions, but nothing here is scheduling-specific.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Type
+
+from .events import EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised on inconsistent simulator state (e.g. time moving backwards)."""
+
+
+class SimulationEngine:
+    """Virtual clock plus event dispatch loop."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._handlers: Dict[Type, Callable[[float, Any], None]] = {}
+        self.now = 0.0
+        self.events_dispatched = 0
+
+    def subscribe(
+        self, event_type: Type, handler: Callable[[float, Any], None]
+    ) -> None:
+        """Register the handler for one event type (one handler per type)."""
+        if event_type in self._handlers:
+            raise SimulationError(
+                f"handler already registered for {event_type.__name__}"
+            )
+        self._handlers[event_type] = handler
+
+    def schedule_at(self, time: float, event: Any) -> None:
+        """Enqueue ``event`` for dispatch at absolute virtual ``time``."""
+        if time < self.now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now={self.now}"
+            )
+        self._queue.push(max(time, self.now), event)
+
+    def schedule_after(self, delay: float, event: Any) -> None:
+        """Enqueue ``event`` for dispatch ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        self._queue.push(self.now + delay, event)
+
+    def step(self) -> bool:
+        """Dispatch the next event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        time, event = self._queue.pop()
+        if time < self.now - 1e-12:
+            raise SimulationError(
+                f"event time {time} precedes current time {self.now}"
+            )
+        self.now = max(self.now, time)
+        handler = self._handlers.get(type(event))
+        if handler is None:
+            raise SimulationError(
+                f"no handler registered for {type(event).__name__}"
+            )
+        handler(self.now, event)
+        self.events_dispatched += 1
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Dispatch events until the queue drains, ``until``, or the cap."""
+        dispatched = 0
+        while self._queue:
+            if until is not None:
+                next_time = self._queue.peek_time()
+                if next_time is not None and next_time > until:
+                    self.now = until
+                    return
+            if max_events is not None and dispatched >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely a runaway "
+                    "simulation (check quantum/expiry configuration)"
+                )
+            self.step()
+            dispatched += 1
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

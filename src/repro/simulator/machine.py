@@ -1,0 +1,73 @@
+"""The distributed-memory machine: workers plus a dedicated scheduling host.
+
+Models the paper's Intel Paragon configuration: ``m`` working processors
+with private local memories execute tasks, while one extra *host* processor
+runs the scheduling algorithm continuously and concurrently (Section 4: "It
+uses a dedicated processor to perform scheduling phases concurrently with
+execution of real-time tasks on other processors").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..core.affinity import CommunicationModel, UniformCommunicationModel
+from .processor import WorkerProcessor
+
+#: Default constant communication cost ``C`` of a non-affine execution, in
+#: tuple-check units (one checking iteration = 1.0).
+DEFAULT_REMOTE_COST = 50.0
+
+
+@dataclass
+class MachineConfig:
+    """Static description of the simulated machine."""
+
+    num_workers: int
+    comm: CommunicationModel = field(
+        default_factory=lambda: UniformCommunicationModel(DEFAULT_REMOTE_COST)
+    )
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ValueError(
+                f"num_workers must be positive, got {self.num_workers}"
+            )
+
+
+class Machine:
+    """Runtime state of the machine: one worker object per processor."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.workers: List[WorkerProcessor] = [
+            WorkerProcessor(processor_id) for processor_id in range(config.num_workers)
+        ]
+
+    @property
+    def num_workers(self) -> int:
+        return self.config.num_workers
+
+    @property
+    def comm(self) -> CommunicationModel:
+        return self.config.comm
+
+    def loads(self, now: float) -> List[float]:
+        """``Load_k`` for every working processor at virtual time ``now``."""
+        return [worker.load(now) for worker in self.workers]
+
+    def all_idle(self) -> bool:
+        return all(worker.is_idle for worker in self.workers)
+
+    def total_completed(self) -> int:
+        return sum(worker.completed_count for worker in self.workers)
+
+    def utilization(self, elapsed: float) -> List[float]:
+        """Fraction of ``elapsed`` each worker spent executing tasks."""
+        if elapsed <= 0:
+            return [0.0] * self.num_workers
+        return [worker.busy_time / elapsed for worker in self.workers]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Machine(m={self.num_workers}, comm={self.comm!r})"

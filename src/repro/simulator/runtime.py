@@ -1,0 +1,310 @@
+"""The on-line scheduling runtime: host + workers under a virtual clock.
+
+This is the simulator counterpart of the paper's deployment on the Intel
+Paragon: a dedicated host processor runs scheduling phases back to back
+while the ``m`` working processors concurrently execute previously delivered
+schedules.  The cycle per phase ``j`` (paper Section 4):
+
+1. form ``Batch(j)`` from unscheduled leftovers plus tasks arrived during
+   phase ``j-1``; evict tasks whose deadlines are already hopeless;
+2. allocate ``Q_s(j)`` via the scheduler's quantum policy;
+3. search for a feasible (partial) schedule ``S_j`` under that quantum;
+4. at ``t_e = t_s + sigma_j`` deliver ``S_j`` to the ready queues.
+
+Workers execute non-preemptively in delivery order and report completions as
+events.  The runtime records every task's lifecycle for the metrics layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..core.scheduler import Scheduler
+from ..core.batch import Batch
+from ..core.task import Task, TaskSet
+from .engine import SimulationEngine, SimulationError
+from .events import (
+    HostWake,
+    ProcessorFailed,
+    ScheduleDelivered,
+    TaskArrived,
+    TaskFinished,
+)
+from .execution import ExecutionTimeModel, resolve_actual_cost
+from .machine import Machine, MachineConfig
+from .trace import (
+    STATUS_COMPLETED,
+    STATUS_EXPIRED,
+    STATUS_FAILED,
+    PhaseTrace,
+    SimulationTrace,
+)
+
+#: Safety cap on dispatched events; generously above any legitimate run
+#: (a 1000-task burst dispatches a few thousand events).
+DEFAULT_MAX_EVENTS = 5_000_000
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one complete on-line run."""
+
+    trace: SimulationTrace
+    scheduler_name: str
+    num_workers: int
+    makespan: float
+    events_dispatched: int
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.trace.hit_ratio()
+
+    @property
+    def phases(self) -> List[PhaseTrace]:
+        return self.trace.phases
+
+    def summary(self) -> str:
+        """One-line human-readable digest used by examples and the CLI."""
+        trace = self.trace
+        return (
+            f"{self.scheduler_name}: {trace.deadline_hits()}/"
+            f"{trace.total_tasks()} deadlines met "
+            f"({100 * trace.hit_ratio():.1f}%), "
+            f"{len(trace.phases)} phases, makespan {self.makespan:.1f}, "
+            f"dead-end rate {100 * trace.dead_end_rate():.1f}%"
+        )
+
+
+class DistributedRuntime:
+    """Drives one scheduler over one workload on one simulated machine."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        machine: Machine,
+        workload: Iterable[Task],
+        max_events: int = DEFAULT_MAX_EVENTS,
+        validate_phases: bool = False,
+        execution_model: Optional[ExecutionTimeModel] = None,
+        failures: Optional[List] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.machine = machine
+        self.workload = list(workload)
+        self.max_events = max_events
+        self.validate_phases = validate_phases
+        self.execution_model = execution_model
+        # (time, processor) fail-stop crash injections.
+        self.failures = list(failures or [])
+        for at, processor in self.failures:
+            if not 0 <= processor < machine.num_workers:
+                raise ValueError(f"failure targets unknown P{processor}")
+            if at < 0:
+                raise ValueError("failure time must be non-negative")
+
+        self.engine = SimulationEngine()
+        self.trace = SimulationTrace()
+        self.batch = Batch()
+        self._pending: List[Task] = []
+        self._host_busy = False
+        self._wake_pending = False
+        self._last_expired = 0
+
+        self.engine.subscribe(TaskArrived, self._on_task_arrived)
+        self.engine.subscribe(HostWake, self._on_host_wake)
+        self.engine.subscribe(ScheduleDelivered, self._on_schedule_delivered)
+        self.engine.subscribe(TaskFinished, self._on_task_finished)
+        self.engine.subscribe(ProcessorFailed, self._on_processor_failed)
+
+    # ----- event handlers --------------------------------------------------
+
+    def _on_task_arrived(self, now: float, event: TaskArrived) -> None:
+        self._pending.append(event.task)
+        self._request_wake(now)
+
+    def _request_wake(self, now: float) -> None:
+        if self._host_busy or self._wake_pending:
+            return
+        self._wake_pending = True
+        self.engine.schedule_at(now, HostWake())
+
+    def _on_host_wake(self, now: float, event: HostWake) -> None:
+        self._wake_pending = False
+        if not self._host_busy:
+            self._start_phase(now)
+
+    def _start_phase(self, now: float) -> None:
+        """Open scheduling phase ``j`` if there is anything to schedule."""
+        if self._pending:
+            self.batch.add_arrivals(self._pending)
+            self._pending.clear()
+        expired = self.batch.drop_expired(now)
+        for task in expired:
+            self.trace.records[task.task_id].status = STATUS_EXPIRED
+        if not self.batch:
+            # Nothing schedulable; the host sleeps until the next arrival.
+            return
+        loads = self.machine.loads(now)
+        batch_tasks = self.batch.edf_order()
+        quantum = self.scheduler.plan_quantum(batch_tasks, loads, now)
+        result = self.scheduler.schedule_phase(batch_tasks, loads, now, quantum)
+        if self.validate_phases:
+            result.validate(self.machine.comm)
+        self._host_busy = True
+        self._last_expired = len(expired)
+        self.engine.schedule_at(result.phase_end, ScheduleDelivered(result))
+
+    def _on_schedule_delivered(self, now: float, event: ScheduleDelivered) -> None:
+        result = event.result
+        self._host_busy = False
+        phase_index = self.batch.phase_index
+        scheduled_ids = result.schedule.task_ids()
+        if scheduled_ids:
+            self.batch.remove_scheduled(scheduled_ids)
+        self.batch.advance_phase()
+        for entry in result.schedule:
+            worker = self.machine.workers[entry.processor]
+            if worker.failed:
+                # The processor died between phase start and delivery; the
+                # assignment returns to the batch and is rescheduled on the
+                # survivors through the normal feasibility path.
+                self._pending.append(entry.task)
+                continue
+            record = self.trace.records[entry.task.task_id]
+            record.scheduled_phase = phase_index
+            record.processor = entry.processor
+            record.delivered_at = now
+            actual = resolve_actual_cost(self.execution_model, entry)
+            record.planned_cost = entry.total_cost
+            record.actual_cost = actual
+            worker.deliver(entry, now, actual_cost=actual)
+        # Kick any worker that was idle and just received work.
+        for entry in result.schedule:
+            if not self.machine.workers[entry.processor].failed:
+                self._maybe_start_worker(entry.processor, now)
+        self.trace.phases.append(
+            PhaseTrace(
+                index=phase_index,
+                start=result.phase_start,
+                quantum=result.quantum,
+                time_used=result.time_used,
+                # Batch(j) size at phase start: what was scheduled plus what
+                # rolled over (pending arrivals merge only at phase start).
+                batch_size=len(result.schedule) + len(self.batch),
+                scheduled=len(result.schedule),
+                expired_before=self._last_expired,
+                dead_end=result.stats.dead_end,
+                complete=result.stats.complete,
+                max_depth=result.stats.max_depth,
+                processors_touched=result.stats.processors_touched,
+                vertices_generated=result.stats.vertices_generated,
+            )
+        )
+        self._start_phase(now)
+
+    def _maybe_start_worker(self, processor: int, now: float) -> None:
+        worker = self.machine.workers[processor]
+        running = worker.start_next(now)
+        if running is not None:
+            record = self.trace.records[running.task.task_id]
+            record.started_at = running.started_at
+            self.engine.schedule_at(
+                running.finishes_at,
+                TaskFinished(processor=processor, task_id=running.task.task_id),
+            )
+
+    def _on_processor_failed(self, now: float, event: ProcessorFailed) -> None:
+        worker = self.machine.workers[event.processor]
+        if worker.failed:
+            return
+        lost, survivors = worker.fail(now)
+        if lost is not None:
+            record = self.trace.records[lost.task.task_id]
+            record.status = STATUS_FAILED
+            record.finished_at = None
+        for work in survivors:
+            # Undelivered work returns to the host for rescheduling on the
+            # surviving processors, through the normal feasibility path.
+            record = self.trace.records[work.task.task_id]
+            record.scheduled_phase = None
+            record.processor = None
+            record.delivered_at = None
+            record.planned_cost = None
+            record.actual_cost = None
+            self._pending.append(work.task)
+        self._request_wake(now)
+
+    def _on_task_finished(self, now: float, event: TaskFinished) -> None:
+        worker = self.machine.workers[event.processor]
+        if worker.failed:
+            # Stale completion of a task that was lost in the crash.
+            return
+        finished = worker.complete_current(now)
+        if finished.task.task_id != event.task_id:
+            raise SimulationError(
+                f"P{event.processor} finished task {finished.task.task_id}, "
+                f"expected {event.task_id}"
+            )
+        record = self.trace.records[event.task_id]
+        record.status = STATUS_COMPLETED
+        record.finished_at = now
+        self._maybe_start_worker(event.processor, now)
+
+    # ----- public API ------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the full workload; returns the aggregated result."""
+        self.scheduler.reset()
+        for task in self.workload:
+            self.trace.add_task(task)
+            self.engine.schedule_at(task.arrival_time, TaskArrived(task))
+        for at, processor in self.failures:
+            self.engine.schedule_at(at, ProcessorFailed(processor))
+        self.engine.run(max_events=self.max_events)
+        if self.batch or self._pending:
+            raise SimulationError(
+                "simulation drained with tasks still unscheduled; "
+                "this indicates a stalled host loop"
+            )
+        self.trace.finished_at = self.engine.now
+        return SimulationResult(
+            trace=self.trace,
+            scheduler_name=self.scheduler.name,
+            num_workers=self.machine.num_workers,
+            makespan=self.engine.now,
+            events_dispatched=self.engine.events_dispatched,
+        )
+
+
+def simulate(
+    scheduler: Scheduler,
+    workload: Iterable[Task] | TaskSet,
+    num_workers: int,
+    comm=None,
+    validate_phases: bool = False,
+    execution_model: Optional[ExecutionTimeModel] = None,
+    failures: Optional[List] = None,
+) -> SimulationResult:
+    """Convenience wrapper: build the machine and run one simulation.
+
+    ``comm`` defaults to the scheduler's own communication model when it has
+    one (all built-in schedulers do), keeping the scheduler's view of costs
+    and the machine's actual costs consistent.
+    """
+    if comm is None:
+        comm = getattr(scheduler, "comm", None)
+        if comm is None:
+            raise ValueError(
+                "scheduler exposes no communication model; pass comm explicitly"
+            )
+    machine = Machine(MachineConfig(num_workers=num_workers, comm=comm))
+    runtime = DistributedRuntime(
+        scheduler=scheduler,
+        machine=machine,
+        workload=workload,
+        validate_phases=validate_phases,
+        execution_model=execution_model,
+        failures=failures,
+    )
+    return runtime.run()

@@ -1,0 +1,36 @@
+"""Workload generation: arrivals, deadlines, transactions, synthetic tasks."""
+
+from .arrivals import (
+    ArrivalProcess,
+    BatchedArrival,
+    BurstyArrival,
+    PoissonArrival,
+    UniformArrival,
+)
+from .deadlines import (
+    PAPER_DEADLINE_MULTIPLIER,
+    DeadlinePolicy,
+    FixedLaxityDeadline,
+    ProportionalDeadline,
+)
+from .synthetic import SyntheticWorkloadConfig, SyntheticWorkloadGenerator
+from .transactions import (
+    TransactionWorkloadConfig,
+    TransactionWorkloadGenerator,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BatchedArrival",
+    "BurstyArrival",
+    "DeadlinePolicy",
+    "FixedLaxityDeadline",
+    "PAPER_DEADLINE_MULTIPLIER",
+    "PoissonArrival",
+    "ProportionalDeadline",
+    "SyntheticWorkloadConfig",
+    "SyntheticWorkloadGenerator",
+    "TransactionWorkloadConfig",
+    "TransactionWorkloadGenerator",
+    "UniformArrival",
+]

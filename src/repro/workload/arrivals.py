@@ -1,0 +1,105 @@
+"""Arrival processes for aperiodic workloads.
+
+The paper's experiments use a bursty arrival: all 1000 transactions reach
+the host simultaneously at ``t = 0``.  Poisson and uniform processes are
+provided for the open-system extensions and the quantum ablation (arrival
+rate is one of the signals the self-adjusting criterion reacts to).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List
+
+
+class ArrivalProcess(ABC):
+    """Generates the arrival times of ``n`` tasks."""
+
+    @abstractmethod
+    def arrival_times(self, n: int, rng: random.Random) -> List[float]:
+        """``n`` non-decreasing, non-negative arrival times."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class BurstyArrival(ArrivalProcess):
+    """All tasks arrive at once (paper Section 5.1)."""
+
+    def __init__(self, at: float = 0.0) -> None:
+        if at < 0:
+            raise ValueError("burst time must be non-negative")
+        self.at = at
+
+    def arrival_times(self, n: int, rng: random.Random) -> List[float]:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return [self.at] * n
+
+
+class PoissonArrival(ArrivalProcess):
+    """Poisson process: exponential inter-arrival gaps at a given rate."""
+
+    def __init__(self, rate: float, start: float = 0.0) -> None:
+        if rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        self.rate = rate
+        self.start = start
+
+    def arrival_times(self, n: int, rng: random.Random) -> List[float]:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        times: List[float] = []
+        now = self.start
+        for _ in range(n):
+            now += rng.expovariate(self.rate)
+            times.append(now)
+        return times
+
+
+class UniformArrival(ArrivalProcess):
+    """Arrivals spread uniformly at random over a window, then sorted."""
+
+    def __init__(self, start: float, end: float) -> None:
+        if start < 0 or end <= start:
+            raise ValueError("need 0 <= start < end")
+        self.start = start
+        self.end = end
+
+    def arrival_times(self, n: int, rng: random.Random) -> List[float]:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return sorted(rng.uniform(self.start, self.end) for _ in range(n))
+
+
+class BatchedArrival(ArrivalProcess):
+    """Several bursts at fixed intervals — a stress case for the quantum.
+
+    Tasks are split as evenly as possible across ``num_batches`` bursts
+    spaced ``interval`` apart.
+    """
+
+    def __init__(self, num_batches: int, interval: float, start: float = 0.0) -> None:
+        if num_batches <= 0:
+            raise ValueError("num_batches must be positive")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        self.num_batches = num_batches
+        self.interval = interval
+        self.start = start
+
+    def arrival_times(self, n: int, rng: random.Random) -> List[float]:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        times: List[float] = []
+        base, extra = divmod(n, self.num_batches)
+        for batch in range(self.num_batches):
+            count = base + (1 if batch < extra else 0)
+            times.extend([self.start + batch * self.interval] * count)
+        return times

@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    LoadBalancingEvaluator,
+    Task,
+    UniformCommunicationModel,
+    ZeroCommunicationModel,
+    make_task,
+)
+from repro.database import DatabaseConfig, DistributedDatabase
+from repro.workload import SyntheticWorkloadConfig, SyntheticWorkloadGenerator
+
+
+@pytest.fixture
+def comm():
+    """Uniform-C communication model with a noticeable remote cost."""
+    return UniformCommunicationModel(remote_cost=50.0)
+
+
+@pytest.fixture
+def zero_comm():
+    return ZeroCommunicationModel()
+
+
+@pytest.fixture
+def evaluator():
+    return LoadBalancingEvaluator()
+
+
+@pytest.fixture
+def simple_tasks():
+    """Four tasks with generous deadlines on a 2-processor machine."""
+    return [
+        make_task(0, processing_time=10.0, deadline=200.0, affinity=[0]),
+        make_task(1, processing_time=20.0, deadline=300.0, affinity=[1]),
+        make_task(2, processing_time=15.0, deadline=400.0, affinity=[0, 1]),
+        make_task(3, processing_time=5.0, deadline=500.0, affinity=[1]),
+    ]
+
+
+@pytest.fixture
+def tight_tasks():
+    """Tasks whose deadlines admit only some assignments."""
+    return [
+        make_task(0, processing_time=10.0, deadline=25.0, affinity=[0]),
+        make_task(1, processing_time=10.0, deadline=25.0, affinity=[0]),
+        make_task(2, processing_time=10.0, deadline=25.0, affinity=[0]),
+    ]
+
+
+@pytest.fixture
+def small_database():
+    """A small but fully populated distributed database."""
+    return DistributedDatabase.build(
+        config=DatabaseConfig(
+            num_subdatabases=4,
+            records_per_subdb=50,
+            num_attributes=5,
+            domain_size=10,
+        ),
+        num_processors=4,
+        replication_rate=0.5,
+        rng=random.Random(7),
+    )
+
+
+@pytest.fixture
+def synthetic_workload():
+    """A 40-task synthetic bursty workload on 4 processors."""
+    return SyntheticWorkloadGenerator(
+        SyntheticWorkloadConfig(
+            num_tasks=40,
+            num_processors=4,
+            affinity_probability=0.5,
+            min_processing_time=5.0,
+            max_processing_time=20.0,
+            slack_factor=2.0,
+            seed=11,
+        )
+    ).generate()

@@ -1,0 +1,82 @@
+"""Tests for the batch lifecycle (paper Section 4)."""
+
+import pytest
+
+from repro.core import Batch, make_task
+
+
+def _task(task_id, p=10.0, d=100.0):
+    return make_task(task_id, processing_time=p, deadline=d)
+
+
+class TestBatchMembership:
+    def test_starts_empty(self):
+        batch = Batch()
+        assert len(batch) == 0
+        assert not batch
+
+    def test_add_arrivals(self):
+        batch = Batch()
+        added = batch.add_arrivals([_task(0), _task(1)])
+        assert added == 2
+        assert len(batch) == 2
+        assert 0 in batch and 1 in batch
+
+    def test_duplicate_arrival_rejected(self):
+        batch = Batch([_task(0)])
+        with pytest.raises(ValueError):
+            batch.add_arrivals([_task(0)])
+
+    def test_edf_order(self):
+        batch = Batch([_task(0, d=300.0), _task(1, d=100.0), _task(2, d=200.0)])
+        assert [t.task_id for t in batch.edf_order()] == [1, 2, 0]
+
+    def test_tasks_in_admission_order(self):
+        batch = Batch([_task(3), _task(1)])
+        assert [t.task_id for t in batch.tasks()] == [3, 1]
+
+
+class TestBatchLifecycle:
+    def test_scheduled_tasks_removed(self):
+        """Paper: tasks in Batch(j) do not enter Batch(j+1) if scheduled."""
+        batch = Batch([_task(0), _task(1), _task(2)])
+        removed = batch.remove_scheduled([0, 2])
+        assert {t.task_id for t in removed} == {0, 2}
+        assert len(batch) == 1
+        assert batch.total_scheduled == 2
+        assert 0 not in batch and 2 not in batch
+
+    def test_remove_unknown_raises(self):
+        batch = Batch([_task(0)])
+        with pytest.raises(KeyError):
+            batch.remove_scheduled([5])
+
+    def test_drop_expired_uses_paper_predicate(self):
+        batch = Batch([
+            _task(0, p=10.0, d=100.0),
+            _task(1, p=10.0, d=50.0),
+        ])
+        expired = batch.drop_expired(now=45.0)  # 10 + 45 > 50
+        assert [t.task_id for t in expired] == [1]
+        assert len(batch) == 1
+        assert batch.total_expired == 1
+
+    def test_drop_expired_boundary_keeps_task(self):
+        batch = Batch([_task(0, p=10.0, d=50.0)])
+        assert batch.drop_expired(now=40.0) == []
+
+    def test_phase_counter(self):
+        batch = Batch()
+        assert batch.phase_index == 0
+        assert batch.advance_phase() == 1
+        assert batch.advance_phase() == 2
+
+    def test_full_cycle_invariant(self):
+        """admitted == scheduled + expired + remaining at all times."""
+        batch = Batch([_task(i, d=100.0 + i) for i in range(10)])
+        batch.remove_scheduled([0, 1, 2])
+        batch.drop_expired(now=95.0)
+        assert (
+            batch.total_admitted
+            == batch.total_scheduled + batch.total_expired + len(batch)
+        )

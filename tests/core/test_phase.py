@@ -1,0 +1,108 @@
+"""Tests for the scheduling-phase driver."""
+
+import pytest
+
+from repro.core import (
+    AssignmentOrientedExpander,
+    LoadBalancingEvaluator,
+    SequenceOrientedExpander,
+    UniformCommunicationModel,
+    ZeroCommunicationModel,
+    make_task,
+    run_phase,
+)
+
+
+def _run(tasks, loads, quantum, now=0.0, comm=None, expander=None):
+    return run_phase(
+        tasks=tasks,
+        loads=loads,
+        now=now,
+        quantum=quantum,
+        comm=comm or ZeroCommunicationModel(),
+        expander=expander or AssignmentOrientedExpander(),
+        evaluator=LoadBalancingEvaluator(),
+        per_vertex_cost=0.01,
+    )
+
+
+class TestRunPhase:
+    def test_schedules_feasible_batch_completely(self):
+        tasks = [
+            make_task(i, processing_time=10.0, deadline=10_000.0)
+            for i in range(6)
+        ]
+        result = _run(tasks, loads=[0.0, 0.0], quantum=100.0)
+        assert len(result.schedule) == 6
+        assert result.stats.complete
+
+    def test_phase_end_not_after_bound(self):
+        tasks = [
+            make_task(i, processing_time=10.0, deadline=10_000.0)
+            for i in range(50)
+        ]
+        result = _run(tasks, loads=[0.0], quantum=2.0)
+        assert result.time_used <= result.quantum
+        assert result.phase_end <= result.phase_end_bound + 1e-12
+
+    def test_schedule_validates_against_phase(self, comm):
+        tasks = [
+            make_task(i, processing_time=10.0, deadline=400.0, affinity=[0])
+            for i in range(8)
+        ]
+        result = _run(tasks, loads=[20.0, 5.0], quantum=30.0, comm=comm)
+        result.validate(comm)
+
+    def test_projected_offsets_respect_initial_loads(self):
+        tasks = [make_task(0, processing_time=10.0, deadline=10_000.0)]
+        result = _run(tasks, loads=[100.0, 0.0], quantum=30.0)
+        assert result.initial_offsets == (70.0, 0.0)
+        # Load balancing puts the task on the idle processor.
+        assert result.schedule.entries[0].processor == 1
+
+    def test_prefilter_excludes_hopeless_tasks(self):
+        tasks = [
+            make_task(0, processing_time=100.0, deadline=105.0),
+            make_task(1, processing_time=10.0, deadline=10_000.0),
+        ]
+        result = _run(tasks, loads=[0.0], quantum=50.0)
+        assert result.schedule.task_ids() == {1}
+
+    def test_min_phase_time_floor(self):
+        # Pre-filter leaves an empty working set; phase still consumes time.
+        tasks = [make_task(0, processing_time=100.0, deadline=105.0)]
+        result = _run(tasks, loads=[0.0], quantum=50.0)
+        assert result.time_used > 0.0
+
+    def test_empty_batch(self):
+        result = _run([], loads=[0.0, 0.0], quantum=10.0)
+        assert len(result.schedule) == 0
+
+    def test_deadline_ties_broken_deterministically(self):
+        tasks = [
+            make_task(5, processing_time=10.0, deadline=1_000.0),
+            make_task(2, processing_time=10.0, deadline=1_000.0),
+        ]
+        first = _run(tasks, loads=[0.0], quantum=100.0)
+        second = _run(list(reversed(tasks)), loads=[0.0], quantum=100.0)
+        assert [e.task.task_id for e in first.schedule] == [
+            e.task.task_id for e in second.schedule
+        ]
+
+    def test_sequence_expander_round_robin_assignment(self):
+        tasks = [
+            make_task(i, processing_time=10.0, deadline=10_000.0)
+            for i in range(4)
+        ]
+        result = _run(
+            tasks,
+            loads=[0.0, 0.0],
+            quantum=100.0,
+            expander=SequenceOrientedExpander(),
+        )
+        processors = [e.processor for e in result.schedule.entries]
+        assert processors == [0, 1, 0, 1]
+
+    def test_quantum_zero_rejected_by_context(self):
+        with pytest.raises(ValueError):
+            _run([], loads=[0.0], quantum=-1.0)

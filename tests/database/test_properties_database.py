@@ -1,0 +1,128 @@
+"""Property-based tests on database invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.database import (
+    DatabaseConfig,
+    DistributedDatabase,
+    GlobalIndex,
+    Schema,
+    Transaction,
+    generate_subdatabase,
+)
+
+SETTINGS = dict(max_examples=30, deadline=None)
+
+
+@st.composite
+def schemas(draw):
+    return Schema(
+        num_subdatabases=draw(st.integers(min_value=1, max_value=6)),
+        num_attributes=draw(st.integers(min_value=1, max_value=8)),
+        domain_size=draw(st.integers(min_value=1, max_value=20)),
+        key_attribute=0,
+    )
+
+
+class TestSchemaProperties:
+    @settings(**SETTINGS)
+    @given(schema=schemas(), data=st.data())
+    def test_value_decode_roundtrip(self, schema, data):
+        subdb = data.draw(
+            st.integers(min_value=0, max_value=schema.num_subdatabases - 1)
+        )
+        attribute = data.draw(
+            st.integers(min_value=0, max_value=schema.num_attributes - 1)
+        )
+        offset = data.draw(
+            st.integers(min_value=0, max_value=schema.domain_size - 1)
+        )
+        value = schema.domain_for(subdb, attribute).low + offset
+        assert schema.subdb_of_value(value) == subdb
+        assert schema.attribute_of_value(value) == attribute
+
+
+class TestIndexProperties:
+    @settings(**SETTINGS)
+    @given(
+        seed=st.integers(min_value=0, max_value=9999),
+        records=st.integers(min_value=1, max_value=80),
+    )
+    def test_index_frequencies_sum_to_records(self, seed, records):
+        schema = Schema(num_subdatabases=3, num_attributes=3, domain_size=6)
+        subdbs = [
+            generate_subdatabase(s, schema, records, rng=random.Random(seed + s))
+            for s in range(3)
+        ]
+        index = GlobalIndex.build(schema, subdbs)
+        assert index.total_indexed_tuples() == 3 * records
+
+    @settings(**SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=9999))
+    def test_index_frequency_equals_actual_scan_count(self, seed):
+        schema = Schema(num_subdatabases=2, num_attributes=2, domain_size=5)
+        subdbs = [
+            generate_subdatabase(s, schema, 40, rng=random.Random(seed + s))
+            for s in range(2)
+        ]
+        index = GlobalIndex.build(schema, subdbs)
+        for subdb in subdbs:
+            domain = schema.key_domain(subdb.subdb_id)
+            for value in range(domain.low, domain.high):
+                actual = sum(1 for row in subdb.rows if row[0] == value)
+                assert index.frequency(value) == actual
+
+
+class TestEstimateProperties:
+    @settings(**SETTINGS)
+    @given(
+        seed=st.integers(min_value=0, max_value=9999),
+        replication=st.floats(min_value=0.1, max_value=1.0),
+    )
+    def test_estimate_upper_bounds_execution(self, seed, replication):
+        """Worst-case estimates dominate actual work for random queries."""
+        rng = random.Random(seed)
+        database = DistributedDatabase.build(
+            config=DatabaseConfig(
+                num_subdatabases=3,
+                records_per_subdb=30,
+                num_attributes=4,
+                domain_size=6,
+            ),
+            num_processors=4,
+            replication_rate=replication,
+            rng=rng,
+        )
+        executor = database.global_executor()
+        for txn_id in range(20):
+            subdb = rng.randrange(3)
+            attributes = rng.sample(range(4), rng.randint(1, 4))
+            predicates = {
+                a: database.schema.domain_for(subdb, a).sample(rng)
+                for a in attributes
+            }
+            txn = Transaction(txn_id, predicates)
+            outcome = executor.execute(txn)
+            assert outcome.cost <= database.estimate_cost(txn) + 1e-9
+
+    @settings(**SETTINGS)
+    @given(
+        seed=st.integers(min_value=0, max_value=9999),
+        replication=st.floats(min_value=0.1, max_value=1.0),
+    )
+    def test_affinity_nonempty_and_within_machine(self, seed, replication):
+        rng = random.Random(seed)
+        database = DistributedDatabase.build(
+            config=DatabaseConfig(num_subdatabases=4, records_per_subdb=10),
+            num_processors=5,
+            replication_rate=replication,
+            rng=rng,
+        )
+        for subdb in range(4):
+            key = database.schema.key_domain(subdb).low
+            txn = Transaction(0, {0: key})
+            affinity = database.affinity_of(txn)
+            assert affinity
+            assert all(0 <= p < 5 for p in affinity)

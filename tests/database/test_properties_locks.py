@@ -1,0 +1,96 @@
+"""Property-based tests on the lock manager and update consistency."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.database import (
+    GlobalIndex,
+    LockManager,
+    LockMode,
+    Schema,
+    generate_subdatabase,
+)
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+
+class TestLockManagerProperties:
+    @settings(**SETTINGS)
+    @given(
+        seed=st.integers(min_value=0, max_value=99_999),
+        num_owners=st.integers(min_value=1, max_value=12),
+        steps=st.integers(min_value=1, max_value=120),
+    )
+    def test_invariants_under_random_traffic(self, seed, num_owners, steps):
+        """At all times: at most one X holder, no S+X mix, FIFO drains."""
+        rng = random.Random(seed)
+        lm = LockManager()
+        held = {}  # owner -> resource currently held or waited on
+        for _ in range(steps):
+            owner = rng.randrange(num_owners)
+            if owner in held and rng.random() < 0.5:
+                resource = held.pop(owner)
+                if lm.holds(resource, owner) is not None:
+                    for new_owner, _ in lm.release(resource, owner):
+                        pass
+            elif owner not in held:
+                resource = rng.randrange(3)
+                mode = rng.choice([LockMode.SHARED, LockMode.EXCLUSIVE])
+                lm.acquire(resource, owner, mode)
+                held[owner] = resource
+            # Invariant check on every step.
+            for resource in lm.locked_resources():
+                holders = lm.holders_of(resource)
+                modes = list(holders.values())
+                if LockMode.EXCLUSIVE in modes:
+                    assert len(holders) == 1
+        # Drain everything: releasing all held locks must empty the manager
+        # eventually (single-resource transactions cannot deadlock).
+        for _ in range(num_owners * 4):
+            progressed = False
+            for resource in list(lm.locked_resources()):
+                for owner in list(lm.holders_of(resource)):
+                    lm.release(resource, owner)
+                    progressed = True
+            if not lm.locked_resources():
+                break
+            assert progressed
+        assert lm.locked_resources() == set()
+
+
+class TestUpdateIndexConsistency:
+    @settings(**SETTINGS)
+    @given(
+        seed=st.integers(min_value=0, max_value=9_999),
+        num_updates=st.integers(min_value=1, max_value=15),
+    )
+    def test_incremental_index_matches_rebuild(self, seed, num_updates):
+        """After random updates, incremental global-index maintenance gives
+        exactly the same index a from-scratch rebuild would."""
+        schema = Schema(num_subdatabases=2, num_attributes=3, domain_size=4)
+        rng = random.Random(seed)
+        subdbs = [
+            generate_subdatabase(s, schema, 30, rng=random.Random(seed + s))
+            for s in range(2)
+        ]
+        index = GlobalIndex.build(schema, subdbs)
+        for _ in range(num_updates):
+            subdb = rng.choice(subdbs)
+            sid = subdb.subdb_id
+            predicate_attr = rng.randrange(3)
+            update_attr = rng.randrange(3)
+            predicates = {
+                predicate_attr: schema.domain_for(sid, predicate_attr).sample(rng)
+            }
+            updates = {
+                update_attr: schema.domain_for(sid, update_attr).sample(rng)
+            }
+            _, deltas = subdb.apply_update(predicates, updates)
+            index.apply_deltas(deltas)
+        rebuilt = GlobalIndex.build(schema, subdbs)
+        for subdb in subdbs:
+            domain = schema.key_domain(subdb.subdb_id)
+            for value in range(domain.low, domain.high):
+                assert index.frequency(value) == rebuilt.frequency(value)
+        assert index.total_indexed_tuples() == 60

@@ -1,0 +1,92 @@
+"""Tests for replica placement."""
+
+import random
+
+import pytest
+
+from repro.database import place_replicas, replicas_for_rate
+from repro.database.replication import replica_counts_for_rate
+
+
+class TestReplicasForRate:
+    def test_full_replication(self):
+        assert replicas_for_rate(1.0, 10) == 10
+
+    def test_minimum_one_copy(self):
+        assert replicas_for_rate(0.01, 10) == 1
+
+    def test_rounding(self):
+        assert replicas_for_rate(0.3, 10) == 3
+        assert replicas_for_rate(0.25, 10) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replicas_for_rate(0.0, 10)
+        with pytest.raises(ValueError):
+            replicas_for_rate(1.5, 10)
+
+
+class TestReplicaCountsForRate:
+    def test_mean_tracks_target_exactly(self):
+        counts = replica_counts_for_rate(0.3, 8, 10)  # target 2.4 copies
+        assert sum(counts) == 24
+        assert set(counts) <= {2, 3}
+
+    def test_never_below_one_or_above_m(self):
+        counts = replica_counts_for_rate(0.05, 4, 10)
+        assert all(c == 1 for c in counts)
+        counts = replica_counts_for_rate(1.0, 4, 10)
+        assert all(c == 4 for c in counts)
+
+    def test_integral_target(self):
+        counts = replica_counts_for_rate(0.5, 10, 10)
+        assert counts == [5] * 10
+
+
+class TestPlacement:
+    def test_every_subdb_has_a_home(self):
+        placement = place_replicas(10, 4, 0.1, rng=random.Random(0))
+        for subdb in range(10):
+            assert placement.processors_holding(subdb)
+
+    def test_replica_count_matches_rate(self):
+        placement = place_replicas(10, 10, 0.5, rng=random.Random(0))
+        assert placement.copies_per_subdatabase() == [5] * 10
+
+    def test_full_replication_everywhere(self):
+        placement = place_replicas(6, 4, 1.0, rng=random.Random(0))
+        for subdb in range(6):
+            assert placement.processors_holding(subdb) == frozenset(range(4))
+
+    def test_effective_affinity_degree(self):
+        placement = place_replicas(10, 10, 0.5, rng=random.Random(0))
+        assert placement.effective_affinity_degree() == pytest.approx(0.5)
+
+    def test_contents_of_inverts_placement(self):
+        placement = place_replicas(8, 4, 0.4, rng=random.Random(3))
+        for processor in range(4):
+            for subdb in placement.contents_of(processor):
+                assert processor in placement.processors_holding(subdb)
+
+    def test_primaries_spread_round_robin(self):
+        placement = place_replicas(8, 4, 0.1, rng=random.Random(0))
+        for subdb in range(8):
+            assert subdb % 4 in placement.processors_holding(subdb)
+
+    def test_unknown_lookups_raise(self):
+        placement = place_replicas(4, 2, 0.5, rng=random.Random(0))
+        with pytest.raises(ValueError):
+            placement.processors_holding(99)
+        with pytest.raises(ValueError):
+            placement.contents_of(5)
+
+    def test_deterministic_under_seed(self):
+        a = place_replicas(10, 5, 0.4, rng=random.Random(11))
+        b = place_replicas(10, 5, 0.4, rng=random.Random(11))
+        assert a.replicas == b.replicas
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            place_replicas(0, 4, 0.5)
+        with pytest.raises(ValueError):
+            place_replicas(4, 0, 0.5)

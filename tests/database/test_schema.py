@@ -1,0 +1,92 @@
+"""Tests for the schema and disjoint domain layout."""
+
+import pytest
+
+from repro.database import Domain, Schema
+
+
+class TestDomain:
+    def test_contains(self):
+        domain = Domain(10, 20)
+        assert 10 in domain
+        assert 19 in domain
+        assert 20 not in domain
+        assert 9 not in domain
+
+    def test_size(self):
+        assert Domain(10, 20).size == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Domain(10, 10)
+
+    def test_sample_within_domain(self):
+        import random
+
+        domain = Domain(5, 8)
+        rng = random.Random(0)
+        assert all(domain.sample(rng) in domain for _ in range(50))
+
+
+class TestSchemaLayout:
+    def setup_method(self):
+        self.schema = Schema(
+            num_subdatabases=3, num_attributes=4, domain_size=10
+        )
+
+    def test_domains_disjoint_across_subdatabases(self):
+        """Paper: attribute domains are disjoint among sub-databases."""
+        seen = set()
+        for subdb in range(3):
+            for attribute in range(4):
+                domain = self.schema.domain_for(subdb, attribute)
+                values = set(range(domain.low, domain.high))
+                assert not values & seen
+                seen |= values
+
+    def test_domains_disjoint_across_attributes(self):
+        for subdb in range(3):
+            domains = self.schema.all_domains(subdb)
+            for i, a in enumerate(domains):
+                for b in domains[i + 1:]:
+                    assert a.high <= b.low or b.high <= a.low
+
+    def test_subdb_of_value_inverts_domain_for(self):
+        for subdb in range(3):
+            for attribute in range(4):
+                domain = self.schema.domain_for(subdb, attribute)
+                assert self.schema.subdb_of_value(domain.low) == subdb
+                assert self.schema.subdb_of_value(domain.high - 1) == subdb
+
+    def test_attribute_of_value_inverts(self):
+        for subdb in range(3):
+            for attribute in range(4):
+                domain = self.schema.domain_for(subdb, attribute)
+                assert self.schema.attribute_of_value(domain.low) == attribute
+
+    def test_key_domain(self):
+        schema = Schema(num_subdatabases=2, num_attributes=4, domain_size=10,
+                        key_attribute=2)
+        assert schema.key_domain(1) == schema.domain_for(1, 2)
+
+    def test_out_of_range_value(self):
+        with pytest.raises(ValueError):
+            self.schema.subdb_of_value(3 * 4 * 10)
+        with pytest.raises(ValueError):
+            self.schema.subdb_of_value(-1)
+
+    def test_out_of_range_subdb_or_attribute(self):
+        with pytest.raises(ValueError):
+            self.schema.domain_for(3, 0)
+        with pytest.raises(ValueError):
+            self.schema.domain_for(0, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Schema(num_subdatabases=0)
+        with pytest.raises(ValueError):
+            Schema(num_subdatabases=1, num_attributes=0)
+        with pytest.raises(ValueError):
+            Schema(num_subdatabases=1, domain_size=0)
+        with pytest.raises(ValueError):
+            Schema(num_subdatabases=1, num_attributes=3, key_attribute=3)

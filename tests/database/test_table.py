@@ -1,0 +1,115 @@
+"""Tests for sub-database storage and the local key index."""
+
+import random
+
+import pytest
+
+from repro.database import Schema, SubDatabase, generate_subdatabase
+
+
+@pytest.fixture
+def schema():
+    return Schema(num_subdatabases=2, num_attributes=3, domain_size=5)
+
+
+def _rows(schema, subdb, specs):
+    """specs: list of per-attribute offsets into each domain."""
+    domains = schema.all_domains(subdb)
+    return [
+        tuple(domains[a].low + spec[a] for a in range(schema.num_attributes))
+        for spec in specs
+    ]
+
+
+class TestSubDatabase:
+    def test_construction_and_len(self, schema):
+        rows = _rows(schema, 0, [(0, 1, 2), (1, 1, 1)])
+        subdb = SubDatabase(0, schema, rows)
+        assert len(subdb) == 2
+
+    def test_rejects_wrong_arity(self, schema):
+        with pytest.raises(ValueError):
+            SubDatabase(0, schema, [(0, 1)])
+
+    def test_rejects_values_outside_domain(self, schema):
+        # Value from sub-database 1's domain in sub-database 0.
+        bad_value = schema.domain_for(1, 0).low
+        rows = _rows(schema, 0, [(0, 0, 0)])
+        rows.append((bad_value, rows[0][1], rows[0][2]))
+        with pytest.raises(ValueError):
+            SubDatabase(0, schema, rows)
+
+    def test_rejects_bad_subdb_id(self, schema):
+        with pytest.raises(ValueError):
+            SubDatabase(5, schema, [])
+
+    def test_key_frequency(self, schema):
+        rows = _rows(schema, 0, [(2, 0, 0), (2, 1, 1), (3, 0, 0)])
+        subdb = SubDatabase(0, schema, rows)
+        key_low = schema.key_domain(0).low
+        assert subdb.key_frequency(key_low + 2) == 2
+        assert subdb.key_frequency(key_low + 3) == 1
+        assert subdb.key_frequency(key_low + 4) == 0
+
+    def test_key_frequencies_sum_to_rows(self, schema):
+        rows = _rows(schema, 0, [(i % 5, 0, 0) for i in range(9)])
+        subdb = SubDatabase(0, schema, rows)
+        assert sum(subdb.key_frequencies().values()) == 9
+
+    def test_scan_conjunctive_match(self, schema):
+        rows = _rows(schema, 0, [(0, 1, 2), (0, 1, 3), (1, 1, 2)])
+        subdb = SubDatabase(0, schema, rows)
+        d0, d1, d2 = schema.all_domains(0)
+        matches = subdb.scan({0: d0.low, 1: d1.low + 1})
+        assert len(matches) == 2
+        matches = subdb.scan({0: d0.low, 2: d2.low + 2})
+        assert len(matches) == 1
+
+    def test_probe_with_key_checks_only_matches(self, schema):
+        rows = _rows(schema, 0, [(2, 0, 0), (2, 1, 1), (3, 0, 0)])
+        subdb = SubDatabase(0, schema, rows)
+        key = schema.key_domain(0).low + 2
+        matches, checked = subdb.probe({0: key})
+        assert len(matches) == 2
+        assert checked == 2  # only the key-matching tuples
+
+    def test_probe_without_key_scans_all(self, schema):
+        rows = _rows(schema, 0, [(0, 1, 0), (1, 1, 0), (2, 2, 0)])
+        subdb = SubDatabase(0, schema, rows)
+        d1 = schema.domain_for(0, 1)
+        matches, checked = subdb.probe({1: d1.low + 1})
+        assert len(matches) == 2
+        assert checked == 3  # full partition scan
+
+    def test_probe_key_plus_filter(self, schema):
+        rows = _rows(schema, 0, [(2, 0, 0), (2, 1, 1)])
+        subdb = SubDatabase(0, schema, rows)
+        key = schema.key_domain(0).low + 2
+        d1 = schema.domain_for(0, 1)
+        matches, checked = subdb.probe({0: key, 1: d1.low + 1})
+        assert len(matches) == 1
+        assert checked == 2
+
+
+class TestGeneration:
+    def test_generates_requested_records(self, schema):
+        subdb = generate_subdatabase(0, schema, records=30,
+                                     rng=random.Random(1))
+        assert len(subdb) == 30
+
+    def test_generated_values_respect_domains(self, schema):
+        subdb = generate_subdatabase(1, schema, records=50,
+                                     rng=random.Random(2))
+        domains = schema.all_domains(1)
+        for row in subdb.rows:
+            for attribute, value in enumerate(row):
+                assert value in domains[attribute]
+
+    def test_deterministic_under_seed(self, schema):
+        a = generate_subdatabase(0, schema, records=20, rng=random.Random(5))
+        b = generate_subdatabase(0, schema, records=20, rng=random.Random(5))
+        assert a.rows == b.rows
+
+    def test_validation(self, schema):
+        with pytest.raises(ValueError):
+            generate_subdatabase(0, schema, records=0)

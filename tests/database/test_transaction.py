@@ -1,0 +1,74 @@
+"""Tests for the read-only transaction model."""
+
+import pytest
+
+from repro.database import Schema, Transaction
+
+
+@pytest.fixture
+def schema():
+    return Schema(num_subdatabases=3, num_attributes=4, domain_size=5)
+
+
+def _txn(schema, subdb, attributes, txn_id=0):
+    predicates = {
+        a: schema.domain_for(subdb, a).low for a in attributes
+    }
+    return Transaction(txn_id=txn_id, predicates=predicates)
+
+
+class TestTransaction:
+    def test_attributes_sorted(self, schema):
+        txn = _txn(schema, 0, [3, 1])
+        assert txn.attributes() == (1, 3)
+
+    def test_gives_key(self, schema):
+        assert _txn(schema, 0, [0, 2]).gives_key(schema)
+        assert not _txn(schema, 0, [1, 2]).gives_key(schema)
+
+    def test_key_value(self, schema):
+        txn = _txn(schema, 1, [0])
+        assert txn.key_value(schema) == schema.key_domain(1).low
+
+    def test_key_value_raises_without_key(self, schema):
+        with pytest.raises(ValueError):
+            _txn(schema, 1, [2]).key_value(schema)
+
+    def test_target_subdb_from_any_value(self, schema):
+        for subdb in range(3):
+            assert _txn(schema, subdb, [1, 3]).target_subdb(schema) == subdb
+
+    def test_mixed_subdb_values_rejected(self, schema):
+        predicates = {
+            0: schema.domain_for(0, 0).low,
+            1: schema.domain_for(1, 1).low,
+        }
+        txn = Transaction(txn_id=0, predicates=predicates)
+        with pytest.raises(ValueError, match="disjoint"):
+            txn.target_subdb(schema)
+
+    def test_empty_predicates_rejected(self):
+        with pytest.raises(ValueError):
+            Transaction(txn_id=0, predicates={})
+
+    def test_negative_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            Transaction(txn_id=0, predicates={-1: 5})
+
+    def test_validate_against_checks_attribute_range(self, schema):
+        txn = Transaction(
+            txn_id=0, predicates={7: schema.domain_for(0, 0).low}
+        )
+        with pytest.raises(ValueError):
+            txn.validate_against(schema)
+
+    def test_validate_against_checks_value_slice(self, schema):
+        # Value belongs to attribute 1's slice but is declared for attr 0.
+        txn = Transaction(
+            txn_id=0, predicates={0: schema.domain_for(0, 1).low}
+        )
+        with pytest.raises(ValueError):
+            txn.validate_against(schema)
+
+    def test_validate_accepts_well_formed(self, schema):
+        _txn(schema, 2, [0, 1, 2, 3]).validate_against(schema)

@@ -1,0 +1,65 @@
+"""Tests for the experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, config_from_args, main
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_paper_and_quick_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--paper", "--quick"])
+
+    def test_defaults_to_quick_scale(self):
+        args = build_parser().parse_args(["fig5"])
+        config = config_from_args(args)
+        assert config.num_transactions == 250
+
+    def test_paper_scale(self):
+        args = build_parser().parse_args(["fig5", "--paper"])
+        config = config_from_args(args)
+        assert config.num_transactions == 1000
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            [
+                "fig6",
+                "--runs", "2",
+                "--transactions", "50",
+                "--seed", "7",
+                "--processors", "4",
+                "--replication", "0.6",
+                "--slack-factor", "2.0",
+            ]
+        )
+        config = config_from_args(args)
+        assert config.runs == 2
+        assert config.num_transactions == 50
+        assert config.base_seed == 7
+        assert config.num_processors == 4
+        assert config.replication_rate == 0.6
+        assert config.slack_factor == 2.0
+
+
+class TestMain:
+    def test_runs_one_experiment(self, capsys):
+        code = main(
+            [
+                "ablate-representation",
+                "--quick",
+                "--runs", "1",
+                "--transactions", "30",
+                "--processors", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RT-SADS" in out and "D-COLS" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["does-not-exist"])

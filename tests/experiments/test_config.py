@@ -1,0 +1,90 @@
+"""Tests for experiment configurations."""
+
+import pytest
+
+from repro.experiments import (
+    PROCESSOR_SWEEP,
+    REPLICATION_SWEEP,
+    SLACK_FACTOR_SWEEP,
+    ExperimentConfig,
+)
+
+
+class TestScales:
+    def test_paper_defaults_match_section_51(self):
+        config = ExperimentConfig.paper()
+        assert config.num_transactions == 1000
+        assert config.num_subdatabases == 10
+        assert config.records_per_subdb == 1000
+        assert config.num_attributes == 10
+        assert config.runs == 10
+        assert config.confidence == 0.99
+        assert config.significance_level == 0.01
+
+    def test_quick_preserves_frequency_invariant(self):
+        """Mean key frequency (records / domain) stays at the paper's 10."""
+        paper = ExperimentConfig.paper()
+        quick = ExperimentConfig.quick()
+        assert paper.records_per_subdb / paper.domain_size == 10
+        assert quick.records_per_subdb / quick.domain_size == 10
+
+    def test_quick_preserves_remote_cost_ratio(self):
+        paper = ExperimentConfig.paper()
+        quick = ExperimentConfig.quick()
+        assert paper.remote_cost / paper.scan_cost == pytest.approx(
+            quick.remote_cost / quick.scan_cost
+        )
+
+    def test_overrides(self):
+        config = ExperimentConfig.quick(runs=5, num_processors=7)
+        assert config.runs == 5
+        assert config.num_processors == 7
+
+
+class TestDerived:
+    def test_total_records(self):
+        assert ExperimentConfig.paper().total_records == 10_000
+
+    def test_scan_cost(self):
+        assert ExperimentConfig.paper().scan_cost == 1000.0
+
+    def test_with_helpers_return_new_configs(self):
+        base = ExperimentConfig.quick()
+        assert base.with_processors(4).num_processors == 4
+        assert base.with_replication(0.7).replication_rate == 0.7
+        assert base.with_slack_factor(2.0).slack_factor == 2.0
+        assert base.num_processors == 10  # unchanged
+
+    def test_seeds_deterministic_and_distinct(self):
+        config = ExperimentConfig.quick(runs=4)
+        seeds = config.seeds()
+        assert len(seeds) == 4
+        assert len(set(seeds)) == 4
+        assert config.seeds() == seeds
+
+
+class TestSweeps:
+    def test_processor_sweep_matches_paper(self):
+        assert PROCESSOR_SWEEP[0] == 2
+        assert PROCESSOR_SWEEP[-1] == 10
+
+    def test_replication_sweep_matches_paper(self):
+        assert REPLICATION_SWEEP[0] == 0.1
+        assert REPLICATION_SWEEP[-1] == 1.0
+
+    def test_slack_factor_sweep_matches_paper(self):
+        assert SLACK_FACTOR_SWEEP == (1.0, 2.0, 3.0)
+
+
+class TestValidation:
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_transactions=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(replication_rate=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(slack_factor=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(per_vertex_cost=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(runs=0)

@@ -1,0 +1,135 @@
+"""Tests for the extension experiments."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ablation_interconnect,
+    extension_failures,
+    extension_load_sweep,
+    extension_reclaiming,
+    extension_write_mix,
+)
+
+TINY = ExperimentConfig.quick(num_transactions=40, runs=2, num_processors=4)
+
+
+class TestReclaiming:
+    def test_rows_and_invariants(self):
+        result = extension_reclaiming(TINY)
+        labels = [row[0] for row in result.rows]
+        assert "worst-case (paper)" in labels
+        assert any("first-match" in label for label in labels)
+        rows = {row[0]: row for row in result.rows}
+        assert rows["worst-case (paper)"][2] == 0.0
+        assert rows["scaled 50%"][2] > 0.0
+        # Early completion never reduces compliance.
+        assert rows["scaled 50%"][1] >= rows["worst-case (paper)"][1] - 1e-9
+
+    def test_render(self):
+        text = extension_reclaiming(TINY).render()
+        assert "Resource reclaiming" in text
+        assert "reclaimed time" in text
+
+
+class TestLoadSweep:
+    def test_structure(self):
+        result = extension_load_sweep(TINY, load_factors=(0.5, 1.5))
+        assert [row[0] for row in result.rows] == [0.5, 1.5]
+        assert len(result.rows[0]) == 3  # load + two schedulers
+
+    def test_compliance_degrades_with_load(self):
+        result = extension_load_sweep(
+            TINY, load_factors=(0.3, 2.0), schedulers=("rtsads",)
+        )
+        light, heavy = result.rows[0][1], result.rows[1][1]
+        assert light > heavy
+
+
+class TestInterconnect:
+    def test_structure_and_render(self):
+        result = ablation_interconnect(TINY)
+        assert len(result.rows) == 2
+        labels = [row[0] for row in result.rows]
+        assert any("wormhole" in label for label in labels)
+        assert any("mesh" in label for label in labels)
+        assert "Interconnect" in result.render()
+
+    def test_custom_scheduler_list(self):
+        result = ablation_interconnect(TINY, scheduler_names=("greedy_edf",))
+        assert len(result.rows[0]) == 2
+
+
+class TestWriteMix:
+    def test_structure(self):
+        result = extension_write_mix(TINY, write_fractions=(0.0, 0.4))
+        assert [row[0] for row in result.rows] == [0.0, 0.4]
+        assert "Read/write" in result.render()
+
+    def test_pure_read_mix_matches_paper_setup(self):
+        result = extension_write_mix(
+            TINY, write_fractions=(0.0,), schedulers=("rtsads",)
+        )
+        assert 0.0 <= result.rows[0][1] <= 100.0
+
+    def test_theorem_holds_with_writes(self):
+        from repro.core import RTSADS, UniformCommunicationModel
+        from repro.experiments.extensions import _build_database_workload
+        from repro.simulator import simulate
+
+        _, tasks, txns = _build_database_workload(
+            TINY, TINY.base_seed, write_fraction=0.5
+        )
+        assert any(t.is_write for t in txns)
+        comm = UniformCommunicationModel(TINY.remote_cost)
+        result = simulate(
+            RTSADS(comm, per_vertex_cost=TINY.per_vertex_cost),
+            tasks,
+            num_workers=TINY.num_processors,
+            validate_phases=True,
+        )
+        assert result.trace.scheduled_but_missed() == []
+
+
+class TestFailures:
+    def test_structure(self):
+        result = extension_failures(TINY, failure_counts=(0, 1))
+        assert [row[0] for row in result.rows] == [0, 1]
+        assert "Fail-stop" in result.render()
+
+    def test_compliance_monotone_in_failures(self):
+        result = extension_failures(
+            TINY, failure_counts=(0, 2), schedulers=("rtsads",)
+        )
+        assert result.rows[0][1] >= result.rows[1][1] - 1.0
+
+    def test_cannot_fail_whole_machine(self):
+        with pytest.raises(ValueError):
+            extension_failures(TINY, failure_counts=(TINY.num_processors,))
+
+
+class TestCLIIntegration:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "reclaiming",
+            "load-sweep",
+            "ablate-interconnect",
+            "write-mix",
+            "failures",
+        ],
+    )
+    def test_cli_runs_extensions(self, name, capsys):
+        from repro.experiments.cli import main
+
+        code = main(
+            [
+                name,
+                "--quick",
+                "--runs", "1",
+                "--transactions", "30",
+                "--processors", "3",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip()

@@ -1,0 +1,73 @@
+"""Every example script must run cleanly and produce its key output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "distributed_database.py",
+        "scalability_study.py",
+        "adaptive_quantum.py",
+        "replication_tradeoff.py",
+        "readwrite_transactions.py",
+    } <= scripts
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "RT-SADS" in out
+    assert "deadlines met" in out
+    assert "timeline" in out
+    assert "theorem violations: 0" in out
+
+
+def test_distributed_database():
+    out = _run("distributed_database.py")
+    assert "sub-databases" in out
+    assert "RT-SADS" in out and "D-COLS" in out
+    assert "indexed" in out and "scan" in out
+
+
+def test_scalability_study():
+    out = _run("scalability_study.py")
+    assert "Figure 5" in out
+    assert "dead-end rate" in out
+    assert "max advantage" in out
+
+
+def test_adaptive_quantum():
+    out = _run("adaptive_quantum.py")
+    assert "quantum adaptation" in out
+    assert "self-adjusting" in out
+
+
+def test_replication_tradeoff():
+    out = _run("replication_tradeoff.py")
+    assert "Figure 6" in out
+    assert "difference of means" in out
+
+
+def test_readwrite_transactions():
+    out = _run("readwrite_transactions.py")
+    assert "updates (pinned to primary copies)" in out
+    assert "first-match early exit" in out
+    assert "reclaimed" in out

@@ -1,0 +1,93 @@
+"""Smoke tests asserting the paper's qualitative result shapes.
+
+These use reduced configurations (fewer transactions/runs) but assert the
+*direction* of every claim the paper's evaluation makes.  Thresholds are
+deliberately loose — they guard the phenomenon, not the exact numbers.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_cell
+
+BASE = ExperimentConfig.quick(runs=2)
+
+
+@pytest.fixture(scope="module")
+def sweep_cells():
+    """Hit percentages for both algorithms at m in {2, 6, 10}."""
+    cells = {}
+    for m in (2, 6, 10):
+        for name in ("rtsads", "dcols"):
+            cells[(name, m)] = run_cell(BASE.with_processors(m), name)
+    return cells
+
+
+class TestFigure5Shape(object):
+    def test_rtsads_scales_up(self, sweep_cells):
+        """RT-SADS increases deadline compliance as processors are added."""
+        series = [
+            sweep_cells[("rtsads", m)].mean_hit_percent for m in (2, 6, 10)
+        ]
+        assert series[0] < series[1] < series[2]
+        assert series[2] - series[0] > 20.0  # substantial gain
+
+    def test_rtsads_dominates_dcols_at_scale(self, sweep_cells):
+        for m in (6, 10):
+            assert (
+                sweep_cells[("rtsads", m)].mean_hit_percent
+                > sweep_cells[("dcols", m)].mean_hit_percent
+            )
+
+    def test_gap_grows_with_processors(self, sweep_cells):
+        """The paper: RT-SADS outperforms by more as m increases."""
+        gap_small = (
+            sweep_cells[("rtsads", 2)].mean_hit_percent
+            - sweep_cells[("dcols", 2)].mean_hit_percent
+        )
+        gap_large = (
+            sweep_cells[("rtsads", 10)].mean_hit_percent
+            - sweep_cells[("dcols", 10)].mean_hit_percent
+        )
+        assert gap_large > gap_small
+
+    def test_dcols_dead_ends_dominate(self, sweep_cells):
+        """Section 3 conjecture: the sequence representation dead-ends."""
+        assert sweep_cells[("dcols", 10)].mean_dead_end_rate > 0.5
+        assert sweep_cells[("rtsads", 10)].mean_dead_end_rate < 0.5
+
+
+class TestFigure6Shape:
+    @pytest.fixture(scope="class")
+    def replication_cells(self):
+        cells = {}
+        for rate in (0.1, 1.0):
+            for name in ("rtsads", "dcols"):
+                cells[(name, rate)] = run_cell(
+                    BASE.with_replication(rate), name
+                )
+        return cells
+
+    def test_dcols_improves_with_replication(self, replication_cells):
+        assert (
+            replication_cells[("dcols", 1.0)].mean_hit_percent
+            > replication_cells[("dcols", 0.1)].mean_hit_percent
+        )
+
+    def test_rtsads_above_dcols_at_every_rate(self, replication_cells):
+        for rate in (0.1, 1.0):
+            assert (
+                replication_cells[("rtsads", rate)].mean_hit_percent
+                >= replication_cells[("dcols", rate)].mean_hit_percent
+            )
+
+    def test_rtsads_robust_to_low_replication(self, replication_cells):
+        """RT-SADS degrades far less than D-COLS when replication drops."""
+        rtsads_drop = (
+            replication_cells[("rtsads", 1.0)].mean_hit_percent
+            - replication_cells[("rtsads", 0.1)].mean_hit_percent
+        )
+        dcols_drop = (
+            replication_cells[("dcols", 1.0)].mean_hit_percent
+            - replication_cells[("dcols", 0.1)].mean_hit_percent
+        )
+        assert rtsads_drop < dcols_drop

@@ -1,0 +1,43 @@
+"""Scale smoke tests: the paper-sized burst runs whole and stays sane."""
+
+import time
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_once
+
+
+class TestPaperScaleSmoke:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = ExperimentConfig.paper(runs=1)
+        started = time.perf_counter()
+        result = run_once(config, "rtsads", config.base_seed)
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    def test_thousand_task_burst_completes(self, result):
+        assert result.trace.total_tasks() == 1000
+
+    def test_every_task_terminal(self, result):
+        from repro.simulator import STATUS_COMPLETED, STATUS_EXPIRED
+
+        for record in result.trace.records.values():
+            assert record.status in (STATUS_COMPLETED, STATUS_EXPIRED)
+
+    def test_theorem_at_scale(self, result):
+        assert result.trace.scheduled_but_missed() == []
+
+    def test_nontrivial_compliance(self, result):
+        # The overloaded paper burst caps out near 30%; a collapse below
+        # 10% or an impossible >40% both indicate calibration regressions.
+        assert 0.10 < result.hit_ratio < 0.40
+
+    def test_event_count_bounded(self, result):
+        # Each task contributes O(1) events plus phases; a blow-up here
+        # means the host loop is thrashing.
+        assert result.events_dispatched < 100_000
+
+    def test_runs_in_reasonable_wall_time(self, result):
+        # ~1-2s typical; 30s signals an accidental complexity regression.
+        assert result.wall_seconds < 30.0

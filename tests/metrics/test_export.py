@@ -1,0 +1,98 @@
+"""Tests for CSV/JSON export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.metrics import FigureData
+from repro.metrics.export import (
+    export_figure,
+    figure_to_csv,
+    figure_to_json,
+    table_to_csv,
+    table_to_json,
+    write_text,
+)
+
+
+@pytest.fixture
+def figure():
+    figure = FigureData(title="T", x_label="m", x_values=[2, 4])
+    figure.add_series("RT-SADS", [10.0, 20.0])
+    figure.add_series("D-COLS", [5.0, 8.0])
+    figure.notes.append("a note")
+    return figure
+
+
+class TestFigureCSV:
+    def test_roundtrip_via_csv_reader(self, figure):
+        rows = list(csv.reader(io.StringIO(figure_to_csv(figure))))
+        assert rows[0] == ["m", "RT-SADS", "D-COLS"]
+        assert rows[1] == ["2", "10.0", "5.0"]
+        assert rows[2] == ["4", "20.0", "8.0"]
+
+    def test_quoting_of_commas(self):
+        figure = FigureData(title="T", x_label="x, units", x_values=[1])
+        figure.add_series("a,b", [1.0])
+        rows = list(csv.reader(io.StringIO(figure_to_csv(figure))))
+        assert rows[0] == ["x, units", "a,b"]
+
+
+class TestFigureJSON:
+    def test_structure(self, figure):
+        document = json.loads(figure_to_json(figure))
+        assert document["title"] == "T"
+        assert document["x_values"] == [2, 4]
+        assert document["series"][0] == {
+            "label": "RT-SADS",
+            "values": [10.0, 20.0],
+        }
+        assert document["notes"] == ["a note"]
+
+
+class TestTableExport:
+    def test_csv(self):
+        text = table_to_csv(["a", "b"], [[1, 2], [3, 4]])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_json(self):
+        document = json.loads(
+            table_to_json(["a", "b"], [[1, 2]], title="X1")
+        )
+        assert document["title"] == "X1"
+        assert document["rows"] == [{"a": 1, "b": 2}]
+
+    def test_json_arity_checked(self):
+        with pytest.raises(ValueError):
+            table_to_json(["a", "b"], [[1]])
+
+
+class TestFileWriting:
+    def test_write_text_adds_newline(self, tmp_path):
+        path = write_text(tmp_path / "sub" / "x.txt", "hello")
+        assert path.read_text() == "hello\n"
+
+    def test_export_figure_writes_both_formats(self, figure, tmp_path):
+        paths = export_figure(figure, tmp_path / "fig5")
+        assert {p.suffix for p in paths} == {".csv", ".json"}
+        assert all(p.exists() for p in paths)
+        document = json.loads((tmp_path / "fig5.json").read_text())
+        assert document["x_label"] == "m"
+
+    def test_export_from_real_sweep(self, tmp_path):
+        from repro.experiments import ExperimentConfig, figure5
+
+        result = figure5(
+            ExperimentConfig.quick(num_transactions=30, runs=1,
+                                   num_processors=3),
+            processors=(2, 3),
+        )
+        paths = export_figure(result.figure, tmp_path / "f5")
+        rows = list(
+            csv.reader(io.StringIO(paths[0].read_text()))
+        )
+        assert rows[0][0] == "processors"
+        assert len(rows) == 3

@@ -1,0 +1,127 @@
+"""Tests for ASCII reporting."""
+
+import pytest
+
+from repro.metrics import (
+    FigureData,
+    ascii_chart,
+    comparison_summary,
+    format_figure,
+    format_gantt,
+    format_table,
+)
+
+
+def _figure():
+    figure = FigureData(
+        title="Test figure", x_label="processors", x_values=[2, 4, 6]
+    )
+    figure.add_series("RT-SADS", [20.0, 40.0, 60.0])
+    figure.add_series("D-COLS", [15.0, 20.0, 25.0])
+    return figure
+
+
+class TestFigureData:
+    def test_series_length_checked(self):
+        figure = FigureData(title="t", x_label="x", x_values=[1, 2])
+        with pytest.raises(ValueError):
+            figure.add_series("s", [1.0])
+
+    def test_series_by_label(self):
+        figure = _figure()
+        assert figure.series_by_label("RT-SADS").values == [20.0, 40.0, 60.0]
+        with pytest.raises(KeyError):
+            figure.series_by_label("missing")
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 22.25]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+        assert "22.25" in lines[3]
+
+    def test_precision(self):
+        text = format_table(["v"], [[1.23456]], precision=3)
+        assert "1.235" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestFormatFigure:
+    def test_contains_all_series_and_points(self):
+        text = format_figure(_figure())
+        assert "Test figure" in text
+        assert "RT-SADS" in text and "D-COLS" in text
+        assert "60.00" in text
+
+    def test_notes_rendered(self):
+        figure = _figure()
+        figure.notes.append("hello note")
+        assert "note: hello note" in format_figure(figure)
+
+
+class TestAsciiChart:
+    def test_bars_scale_with_values(self):
+        text = ascii_chart(_figure(), width=10)
+        lines = [l for l in text.splitlines() if "|" in l]
+        rtsads_final = [l for l in lines if "60.0" in l][0]
+        dcols_final = [l for l in lines if "25.0" in l][0]
+        assert rtsads_final.count("#") > dcols_final.count("#")
+
+    def test_empty_series_tolerated(self):
+        figure = FigureData(title="t", x_label="x", x_values=[])
+        assert "t" in ascii_chart(figure)
+
+
+class TestFormatGantt:
+    def test_lanes_rendered_with_utilization(self):
+        lanes = {
+            0: [(1, 0.0, 50.0), (2, 50.0, 100.0)],  # fully busy
+            1: [(3, 0.0, 25.0)],  # 25% busy
+        }
+        text = format_gantt(lanes, width=40)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "P0" in lines[1] and "100.0%" in lines[1]
+        assert "P1" in lines[2] and "25.0%" in lines[2]
+        # The busy processor's row has more filled cells.
+        assert lines[1].count("#") > lines[2].count("#")
+
+    def test_idle_gaps_drawn(self):
+        lanes = {0: [(1, 0.0, 10.0), (2, 90.0, 100.0)]}
+        text = format_gantt(lanes, width=50)
+        row = text.splitlines()[1]
+        assert "." in row and "#" in row
+
+    def test_empty(self):
+        assert "no completed tasks" in format_gantt({})
+
+    def test_explicit_horizon(self):
+        lanes = {0: [(1, 0.0, 10.0)]}
+        text = format_gantt(lanes, width=40, until=100.0)
+        row = text.splitlines()[1]
+        # 10/100 of the row filled at most.
+        assert row.count("#") <= 6
+
+    def test_from_simulation_trace(self, simple_tasks):
+        from repro.core import RTSADS, UniformCommunicationModel
+        from repro.simulator import simulate
+
+        result = simulate(
+            RTSADS(UniformCommunicationModel(50.0)), simple_tasks, 2
+        )
+        text = format_gantt(result.trace.gantt())
+        assert "P0" in text or "P1" in text
+
+
+class TestComparisonSummary:
+    def test_headline_numbers(self):
+        summary = comparison_summary(_figure(), "RT-SADS", "D-COLS")
+        assert summary["max_advantage"] == 35.0
+        assert summary["final_advantage"] == 35.0
+        assert summary["RT-SADS_gain"] == 40.0
+        assert summary["D-COLS_gain"] == 10.0

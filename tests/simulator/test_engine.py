@@ -1,0 +1,106 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.simulator import SimulationEngine, SimulationError
+
+
+class Ping:
+    def __init__(self, label="ping"):
+        self.label = label
+
+
+class Pong:
+    pass
+
+
+class TestDispatch:
+    def test_dispatches_to_registered_handler(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.subscribe(Ping, lambda now, e: seen.append((now, e.label)))
+        engine.schedule_at(2.0, Ping("a"))
+        engine.run()
+        assert seen == [(2.0, "a")]
+
+    def test_clock_advances_monotonically(self):
+        engine = SimulationEngine()
+        times = []
+        engine.subscribe(Ping, lambda now, e: times.append(now))
+        for t in (5.0, 1.0, 3.0):
+            engine.schedule_at(t, Ping())
+        engine.run()
+        assert times == [1.0, 3.0, 5.0]
+        assert engine.now == 5.0
+
+    def test_handler_can_schedule_new_events(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def on_ping(now, event):
+            seen.append(now)
+            if now < 3.0:
+                engine.schedule_after(1.0, Ping())
+
+        engine.subscribe(Ping, on_ping)
+        engine.schedule_at(1.0, Ping())
+        engine.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_unhandled_event_raises(self):
+        engine = SimulationEngine()
+        engine.schedule_at(0.0, Pong())
+        with pytest.raises(SimulationError, match="no handler"):
+            engine.run()
+
+    def test_duplicate_handler_rejected(self):
+        engine = SimulationEngine()
+        engine.subscribe(Ping, lambda now, e: None)
+        with pytest.raises(SimulationError):
+            engine.subscribe(Ping, lambda now, e: None)
+
+
+class TestScheduling:
+    def test_schedule_in_past_rejected(self):
+        engine = SimulationEngine()
+        engine.subscribe(Ping, lambda now, e: None)
+        engine.schedule_at(5.0, Ping())
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, Ping())
+
+    def test_schedule_after_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1.0, Ping())
+
+    def test_run_until_stops_before_later_events(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.subscribe(Ping, lambda now, e: seen.append(now))
+        engine.schedule_at(1.0, Ping())
+        engine.schedule_at(10.0, Ping())
+        engine.run(until=5.0)
+        assert seen == [1.0]
+        assert engine.now == 5.0
+        assert engine.pending_events == 1
+
+    def test_step_returns_false_when_empty(self):
+        assert SimulationEngine().step() is False
+
+    def test_max_events_guard(self):
+        engine = SimulationEngine()
+        engine.subscribe(
+            Ping, lambda now, e: engine.schedule_after(1.0, Ping())
+        )
+        engine.schedule_at(0.0, Ping())
+        with pytest.raises(SimulationError, match="max_events"):
+            engine.run(max_events=10)
+
+    def test_events_dispatched_counter(self):
+        engine = SimulationEngine()
+        engine.subscribe(Ping, lambda now, e: None)
+        for t in range(3):
+            engine.schedule_at(float(t), Ping())
+        engine.run()
+        assert engine.events_dispatched == 3

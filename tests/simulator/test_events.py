@@ -1,0 +1,70 @@
+"""Tests for event types and the event queue."""
+
+import pytest
+
+from repro.core import make_task
+from repro.simulator import EventQueue, TaskArrived, TaskFinished
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(5.0, "b")
+        queue.push(1.0, "a")
+        queue.push(3.0, "c")
+        assert [queue.pop()[1] for _ in range(3)] == ["a", "c", "b"]
+
+    def test_same_time_pops_in_insertion_order(self):
+        queue = EventQueue()
+        for label in ("first", "second", "third"):
+            queue.push(2.0, label)
+        assert [queue.pop()[1] for _ in range(3)] == [
+            "first",
+            "second",
+            "third",
+        ]
+
+    def test_pop_returns_time(self):
+        queue = EventQueue()
+        queue.push(4.5, "x")
+        time, event = queue.pop()
+        assert time == 4.5
+        assert event == "x"
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(9.0, "x")
+        assert queue.peek_time() == 9.0
+        assert len(queue) == 1  # peek does not consume
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, "x")
+
+    def test_truthiness_and_len(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(0.0, "x")
+        assert queue
+        assert len(queue) == 1
+
+
+class TestEventTypes:
+    def test_task_arrived_carries_task(self):
+        task = make_task(3, processing_time=1.0, deadline=10.0)
+        assert TaskArrived(task).task is task
+
+    def test_task_finished_fields(self):
+        event = TaskFinished(processor=2, task_id=7)
+        assert event.processor == 2
+        assert event.task_id == 7
+
+    def test_events_are_immutable(self):
+        event = TaskFinished(processor=2, task_id=7)
+        with pytest.raises(AttributeError):
+            event.processor = 3

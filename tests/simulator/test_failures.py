@@ -1,0 +1,150 @@
+"""Tests for fail-stop processor crashes and rescheduling."""
+
+import pytest
+
+from repro.core import (
+    DCOLS,
+    RTSADS,
+    ScheduleEntry,
+    UniformCommunicationModel,
+    make_task,
+)
+from repro.simulator import (
+    STATUS_COMPLETED,
+    STATUS_EXPIRED,
+    STATUS_FAILED,
+    WorkerProcessor,
+    simulate,
+)
+from repro.workload import SyntheticWorkloadConfig, SyntheticWorkloadGenerator
+
+
+def _entry(task_id, p=10.0):
+    task = make_task(task_id, processing_time=p, deadline=100_000.0)
+    return ScheduleEntry(
+        task=task, processor=0, communication_cost=0.0, scheduled_end=p
+    )
+
+
+def _workload(n=50, m=4, sf=3.0, seed=5):
+    return SyntheticWorkloadGenerator(
+        SyntheticWorkloadConfig(
+            num_tasks=n, num_processors=m, slack_factor=sf, seed=seed
+        )
+    ).generate()
+
+
+class TestWorkerFailure:
+    def test_fail_surrenders_queue_and_loses_running(self):
+        worker = WorkerProcessor(0)
+        worker.deliver(_entry(0), now=0.0)
+        worker.deliver(_entry(1), now=0.0)
+        worker.deliver(_entry(2), now=0.0)
+        worker.start_next(0.0)
+        lost, survivors = worker.fail(5.0)
+        assert lost.task.task_id == 0
+        assert [w.task.task_id for w in survivors] == [1, 2]
+        assert worker.failed
+        assert worker.is_idle
+
+    def test_failed_worker_reports_infinite_load(self):
+        worker = WorkerProcessor(0)
+        worker.fail(0.0)
+        assert worker.load(0.0) == float("inf")
+
+    def test_failed_worker_rejects_delivery_and_start(self):
+        worker = WorkerProcessor(0)
+        worker.fail(0.0)
+        with pytest.raises(RuntimeError):
+            worker.deliver(_entry(0), now=1.0)
+        assert worker.start_next(1.0) is None
+
+    def test_double_failure_raises(self):
+        worker = WorkerProcessor(0)
+        worker.fail(0.0)
+        with pytest.raises(RuntimeError):
+            worker.fail(1.0)
+
+    def test_busy_time_accounts_partial_run(self):
+        worker = WorkerProcessor(0)
+        worker.deliver(_entry(0, p=10.0), now=0.0)
+        worker.start_next(0.0)
+        worker.fail(4.0)
+        assert worker.busy_time == pytest.approx(4.0)
+
+
+class TestRuntimeFailures:
+    def _run(self, scheduler_cls=RTSADS, failures=(), **kwargs):
+        comm = UniformCommunicationModel(20.0)
+        return simulate(
+            scheduler_cls(comm),
+            list(_workload(**kwargs)),
+            num_workers=4,
+            failures=list(failures),
+            validate_phases=True,
+        )
+
+    def test_in_flight_task_marked_failed(self):
+        result = self._run(failures=[(50.0, 0)])
+        failed = result.trace.failed()
+        assert len(failed) <= 1  # at most the in-flight task
+        for record in failed:
+            assert record.status == STATUS_FAILED
+            assert not record.met_deadline
+
+    def test_queued_tasks_rescheduled_elsewhere(self):
+        result = self._run(failures=[(30.0, 0)])
+        for record in result.trace.records.values():
+            if record.status == STATUS_COMPLETED:
+                assert record.processor != 0 or (
+                    record.finished_at is not None
+                    and record.finished_at <= 30.0 + 1e-9
+                )
+
+    def test_theorem_survives_failures(self):
+        result = self._run(failures=[(40.0, 0), (90.0, 2)])
+        assert result.trace.scheduled_but_missed() == []
+
+    def test_theorem_survives_failures_dcols(self):
+        result = self._run(scheduler_cls=DCOLS, failures=[(40.0, 1)])
+        assert result.trace.scheduled_but_missed() == []
+
+    def test_compliance_degrades_gracefully(self):
+        healthy = self._run()
+        crashed = self._run(failures=[(50.0, 0)])
+        assert crashed.hit_ratio <= healthy.hit_ratio
+        # Losing 1 of 4 processors mid-run must not collapse compliance.
+        assert crashed.hit_ratio > 0.5 * healthy.hit_ratio
+
+    def test_all_processors_failing_expires_everything(self):
+        result = self._run(
+            failures=[(1.0, p) for p in range(4)], n=10, sf=1.5
+        )
+        for record in result.trace.records.values():
+            assert record.status in (
+                STATUS_COMPLETED,
+                STATUS_EXPIRED,
+                STATUS_FAILED,
+            )
+        # Nothing can complete after t=1 on a dead machine.
+        late_finishes = [
+            r
+            for r in result.trace.records.values()
+            if r.finished_at is not None and r.finished_at > 1.0
+        ]
+        assert late_finishes == []
+
+    def test_duplicate_failure_events_tolerated(self):
+        result = self._run(failures=[(40.0, 0), (60.0, 0)])
+        assert result.trace.total_tasks() == 50
+
+    def test_failure_validation(self):
+        comm = UniformCommunicationModel(20.0)
+        with pytest.raises(ValueError):
+            simulate(
+                RTSADS(comm), list(_workload()), 4, failures=[(1.0, 9)]
+            )
+        with pytest.raises(ValueError):
+            simulate(
+                RTSADS(comm), list(_workload()), 4, failures=[(-1.0, 0)]
+            )

@@ -1,0 +1,62 @@
+"""Tests for the machine assembly."""
+
+import pytest
+
+from repro.core import ScheduleEntry, UniformCommunicationModel, make_task
+from repro.simulator import Machine, MachineConfig
+
+
+def _machine(m=3, C=50.0):
+    return Machine(
+        MachineConfig(num_workers=m, comm=UniformCommunicationModel(C))
+    )
+
+
+def _deliver(machine, proc, task_id, p=10.0):
+    task = make_task(task_id, processing_time=p, deadline=10_000.0)
+    machine.workers[proc].deliver(
+        ScheduleEntry(task=task, processor=proc, communication_cost=0.0,
+                      scheduled_end=p),
+        now=0.0,
+    )
+
+
+class TestMachine:
+    def test_workers_created(self):
+        machine = _machine(m=4)
+        assert machine.num_workers == 4
+        assert [w.processor_id for w in machine.workers] == [0, 1, 2, 3]
+
+    def test_loads_reflect_queues(self):
+        machine = _machine(m=3)
+        _deliver(machine, 1, 0, p=25.0)
+        assert machine.loads(0.0) == [0.0, 25.0, 0.0]
+
+    def test_all_idle(self):
+        machine = _machine()
+        assert machine.all_idle()
+        _deliver(machine, 0, 0)
+        assert not machine.all_idle()
+
+    def test_total_completed(self):
+        machine = _machine()
+        _deliver(machine, 0, 0, p=5.0)
+        machine.workers[0].start_next(0.0)
+        machine.workers[0].complete_current(5.0)
+        assert machine.total_completed() == 1
+
+    def test_utilization(self):
+        machine = _machine(m=2)
+        _deliver(machine, 0, 0, p=5.0)
+        machine.workers[0].start_next(0.0)
+        machine.workers[0].complete_current(5.0)
+        assert machine.utilization(10.0) == [0.5, 0.0]
+        assert machine.utilization(0.0) == [0.0, 0.0]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(num_workers=0)
+
+    def test_default_comm_model(self):
+        machine = Machine(MachineConfig(num_workers=2))
+        assert isinstance(machine.comm, UniformCommunicationModel)

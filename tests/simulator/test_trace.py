@@ -1,0 +1,140 @@
+"""Tests for simulation traces and their aggregate views."""
+
+import pytest
+
+from repro.core import make_task
+from repro.simulator import (
+    STATUS_COMPLETED,
+    STATUS_EXPIRED,
+    PhaseTrace,
+    SimulationTrace,
+)
+
+
+def _trace_with(records):
+    """records: list of (task, status, processor, phase, finished_at)."""
+    trace = SimulationTrace()
+    for task, status, processor, phase, finished in records:
+        record = trace.add_task(task)
+        record.status = status
+        record.processor = processor
+        record.scheduled_phase = phase
+        record.finished_at = finished
+        if finished is not None:
+            record.started_at = finished - task.processing_time
+    return trace
+
+
+def _task(task_id, p=10.0, d=100.0):
+    return make_task(task_id, processing_time=p, deadline=d)
+
+
+class TestTaskRecord:
+    def test_met_deadline(self):
+        trace = _trace_with([
+            (_task(0, d=100.0), STATUS_COMPLETED, 0, 0, 99.0),
+            (_task(1, d=100.0), STATUS_COMPLETED, 0, 0, 101.0),
+        ])
+        assert trace.records[0].met_deadline
+        assert not trace.records[1].met_deadline
+
+    def test_boundary_finish_meets_deadline(self):
+        trace = _trace_with([
+            (_task(0, d=100.0), STATUS_COMPLETED, 0, 0, 100.0),
+        ])
+        assert trace.records[0].met_deadline
+
+    def test_expired_never_meets(self):
+        trace = _trace_with([
+            (_task(0), STATUS_EXPIRED, None, None, None),
+        ])
+        assert not trace.records[0].met_deadline
+
+    def test_response_time(self):
+        trace = _trace_with([
+            (_task(0), STATUS_COMPLETED, 0, 0, 42.0),
+        ])
+        assert trace.records[0].response_time == 42.0
+
+    def test_duplicate_task_rejected(self):
+        trace = SimulationTrace()
+        trace.add_task(_task(0))
+        with pytest.raises(ValueError):
+            trace.add_task(_task(0))
+
+
+class TestAggregates:
+    def _mixed_trace(self):
+        return _trace_with([
+            (_task(0, d=100.0), STATUS_COMPLETED, 0, 0, 50.0),
+            (_task(1, d=100.0), STATUS_COMPLETED, 1, 0, 120.0),  # late
+            (_task(2, d=100.0), STATUS_EXPIRED, None, None, None),
+            (_task(3, d=100.0), STATUS_COMPLETED, 0, 1, 80.0),
+        ])
+
+    def test_hit_ratio(self):
+        assert self._mixed_trace().hit_ratio() == 0.5
+
+    def test_hit_ratio_empty(self):
+        assert SimulationTrace().hit_ratio() == 0.0
+
+    def test_completed_and_expired(self):
+        trace = self._mixed_trace()
+        assert len(trace.completed()) == 3
+        assert len(trace.expired()) == 1
+
+    def test_scheduled_but_missed_finds_theorem_violations(self):
+        trace = self._mixed_trace()
+        violators = trace.scheduled_but_missed()
+        assert [r.task_id for r in violators] == [1]
+
+    def test_gantt_lanes_sorted_by_start(self):
+        trace = self._mixed_trace()
+        lanes = trace.gantt()
+        assert set(lanes) == {0, 1}
+        starts = [start for _, start, _ in lanes[0]]
+        assert starts == sorted(starts)
+
+
+class TestPhaseAggregates:
+    def _phase(self, index, dead_end=False, depth=3, touched=2):
+        return PhaseTrace(
+            index=index,
+            start=float(index),
+            quantum=5.0,
+            time_used=2.0,
+            batch_size=10,
+            scheduled=depth,
+            expired_before=0,
+            dead_end=dead_end,
+            complete=False,
+            max_depth=depth,
+            processors_touched=touched,
+            vertices_generated=40,
+        )
+
+    def test_dead_end_rate(self):
+        trace = SimulationTrace()
+        trace.phases = [self._phase(0, dead_end=True), self._phase(1)]
+        assert trace.dead_end_rate() == 0.5
+
+    def test_dead_end_rate_empty(self):
+        assert SimulationTrace().dead_end_rate() == 0.0
+
+    def test_mean_depth_and_processors(self):
+        trace = SimulationTrace()
+        trace.phases = [
+            self._phase(0, depth=2, touched=1),
+            self._phase(1, depth=4, touched=3),
+        ]
+        assert trace.mean_depth() == 3.0
+        assert trace.mean_processors_touched() == 2.0
+
+    def test_total_scheduling_time(self):
+        trace = SimulationTrace()
+        trace.phases = [self._phase(0), self._phase(1)]
+        assert trace.total_scheduling_time() == 4.0
+
+    def test_phase_end(self):
+        phase = self._phase(0)
+        assert phase.end == 2.0

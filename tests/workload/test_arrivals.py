@@ -1,0 +1,104 @@
+"""Tests for arrival processes."""
+
+import random
+
+import pytest
+
+from repro.workload import (
+    BatchedArrival,
+    BurstyArrival,
+    PoissonArrival,
+    UniformArrival,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+class TestBursty:
+    def test_all_at_once(self, rng):
+        times = BurstyArrival().arrival_times(5, rng)
+        assert times == [0.0] * 5
+
+    def test_custom_burst_time(self, rng):
+        times = BurstyArrival(at=7.0).arrival_times(3, rng)
+        assert times == [7.0] * 3
+
+    def test_zero_tasks(self, rng):
+        assert BurstyArrival().arrival_times(0, rng) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrival(at=-1.0)
+
+
+class TestPoisson:
+    def test_times_sorted_and_positive(self, rng):
+        times = PoissonArrival(rate=0.5).arrival_times(100, rng)
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_mean_interarrival_near_rate(self, rng):
+        rate = 2.0
+        times = PoissonArrival(rate=rate).arrival_times(5000, rng)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        assert mean_gap == pytest.approx(1.0 / rate, rel=0.1)
+
+    def test_start_offset(self, rng):
+        times = PoissonArrival(rate=1.0, start=100.0).arrival_times(5, rng)
+        assert all(t > 100.0 for t in times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrival(rate=0.0)
+        with pytest.raises(ValueError):
+            PoissonArrival(rate=1.0, start=-1.0)
+
+
+class TestUniform:
+    def test_within_window_and_sorted(self, rng):
+        times = UniformArrival(10.0, 20.0).arrival_times(50, rng)
+        assert times == sorted(times)
+        assert all(10.0 <= t <= 20.0 for t in times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformArrival(5.0, 5.0)
+
+
+class TestBatched:
+    def test_even_split(self, rng):
+        times = BatchedArrival(num_batches=2, interval=10.0).arrival_times(
+            6, rng
+        )
+        assert times == [0.0] * 3 + [10.0] * 3
+
+    def test_uneven_split_front_loads(self, rng):
+        times = BatchedArrival(num_batches=3, interval=5.0).arrival_times(
+            7, rng
+        )
+        assert times.count(0.0) == 3
+        assert times.count(5.0) == 2
+        assert times.count(10.0) == 2
+
+    def test_start_offset(self, rng):
+        times = BatchedArrival(
+            num_batches=2, interval=10.0, start=3.0
+        ).arrival_times(2, rng)
+        assert times == [3.0, 13.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchedArrival(num_batches=0, interval=1.0)
+        with pytest.raises(ValueError):
+            BatchedArrival(num_batches=1, interval=0.0)
+
+
+class TestDeterminism:
+    def test_poisson_reproducible(self):
+        a = PoissonArrival(1.0).arrival_times(20, random.Random(7))
+        b = PoissonArrival(1.0).arrival_times(20, random.Random(7))
+        assert a == b
