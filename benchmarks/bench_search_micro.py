@@ -122,3 +122,34 @@ def test_event_engine_dispatch_rate(benchmark):
         return count[0]
 
     assert benchmark(run_engine) == 5000
+
+
+def _schedule_phase(scheduler, tasks, m):
+    loads = (0.0,) * m
+    quantum = scheduler.plan_quantum(tasks, loads, now=0.0)
+    return scheduler.schedule_phase(tasks, loads, now=0.0, quantum=quantum)
+
+
+def test_phase_instrumentation_disabled_overhead(benchmark):
+    """The off-by-default path: must track the uninstrumented seed (<5%)."""
+    from repro.core import RTSADS
+
+    m = 8
+    tasks = _tasks(120, m, seed=3)
+    scheduler = RTSADS(UniformCommunicationModel(40.0))
+    result = benchmark(lambda: _schedule_phase(scheduler, tasks, m))
+    assert len(result.schedule) > 0
+
+
+def test_phase_instrumentation_enabled_overhead(benchmark):
+    """Full instrumentation: spans + counters + a memory trace sink."""
+    from repro.core import RTSADS
+    from repro.observability import Instrumentation, MemorySink
+
+    m = 8
+    tasks = _tasks(120, m, seed=3)
+    obs = Instrumentation(sink=MemorySink())
+    scheduler = RTSADS(UniformCommunicationModel(40.0), instrumentation=obs)
+    result = benchmark(lambda: _schedule_phase(scheduler, tasks, m))
+    assert len(result.schedule) > 0
+    assert obs.metrics.snapshot()["counters"]["scheduler_phases{scheduler=RT-SADS}"] > 0

@@ -25,12 +25,14 @@ from .feasibility import projected_offsets
 from .phase import MIN_PHASE_TIME, PhaseResult
 from .quantum import QuantumPolicy, SelfAdjustingQuantum
 from .schedule import Schedule, ScheduleEntry
+from ..observability import get_instrumentation
 from .scheduler import (
     DEFAULT_PER_VERTEX_COST,
     DEFAULT_PHASE_OVERHEAD_FACTOR,
     DEFAULT_QUANTUM_CAP_FACTOR,
     Scheduler,
     phase_overhead,
+    record_phase_metrics,
     useful_search_time,
 )
 from .search import SearchStats, VirtualTimeBudget
@@ -110,6 +112,7 @@ class _ListScheduler(Scheduler):
             comm_cost = self.comm.cost(task, processor)
             end = offset + task.processing_time + comm_cost
             if bound + end > task.deadline + 1e-9:
+                stats.feasibility_rejections += 1
                 continue
             if best is None or end < best[2]:
                 best = (processor, comm_cost, end)
@@ -157,7 +160,8 @@ class _ListScheduler(Scheduler):
         stats.max_depth = len(schedule)
         stats.processors_touched = len(schedule.processors())
         stats.complete = len(schedule) == len(batch)
-        return PhaseResult(
+        stats.prefilter_rejected = len(batch) - len(viable)
+        result = PhaseResult(
             schedule=schedule,
             time_used=min(max(budget.used(), MIN_PHASE_TIME), phase_window),
             quantum=phase_window,
@@ -165,6 +169,10 @@ class _ListScheduler(Scheduler):
             stats=stats,
             initial_offsets=initial,
         )
+        obs = self.instrumentation or get_instrumentation()
+        if obs.enabled:
+            record_phase_metrics(obs, self.name, stats, phase_window, len(batch))
+        return result
 
 
 class GreedyEDFScheduler(_ListScheduler):
@@ -269,6 +277,7 @@ class MyopicScheduler(_ListScheduler):
             for t in sorted(batch, key=lambda t: (t.deadline, t.task_id))
             if bound + t.processing_time <= t.deadline + 1e-9
         ]
+        prefiltered = len(remaining)
         while remaining and not budget.exhausted():
             best = None  # (H, task_pos, processor, comm_cost, end)
             lookahead = remaining[: self.window]
@@ -280,6 +289,7 @@ class MyopicScheduler(_ListScheduler):
                     comm_cost = self.comm.cost(task, processor)
                     end = offset + task.processing_time + comm_cost
                     if bound + end > task.deadline + 1e-9:
+                        stats.feasibility_rejections += 1
                         continue
                     start = end - task.processing_time - comm_cost
                     heuristic = task.deadline + self.weight * start
@@ -307,7 +317,8 @@ class MyopicScheduler(_ListScheduler):
         stats.max_depth = len(schedule)
         stats.processors_touched = len(schedule.processors())
         stats.complete = len(schedule) == len(batch)
-        return PhaseResult(
+        stats.prefilter_rejected = len(batch) - prefiltered
+        result = PhaseResult(
             schedule=schedule,
             time_used=min(max(budget.used(), MIN_PHASE_TIME), phase_window),
             quantum=phase_window,
@@ -315,3 +326,7 @@ class MyopicScheduler(_ListScheduler):
             stats=stats,
             initial_offsets=initial,
         )
+        obs = self.instrumentation or get_instrumentation()
+        if obs.enabled:
+            record_phase_metrics(obs, self.name, stats, phase_window, len(batch))
+        return result

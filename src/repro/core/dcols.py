@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..observability import Instrumentation
 from .affinity import CommunicationModel
 from .cost import LoadBalancingEvaluator, VertexEvaluator
 from .quantum import QuantumPolicy, SelfAdjustingQuantum
@@ -50,6 +51,7 @@ class DCOLS(SearchScheduler):
         beam_width: Optional[int] = None,
         rotate_start: bool = False,
         max_candidates: Optional[int] = 100_000,
+        instrumentation: Optional["Instrumentation"] = None,
     ) -> None:
         def factory(phase_index: int) -> SequenceOrientedExpander:
             start = phase_index if rotate_start else 0
@@ -65,6 +67,7 @@ class DCOLS(SearchScheduler):
             per_vertex_cost=per_vertex_cost,
             max_candidates=max_candidates,
             name="D-COLS",
+            instrumentation=instrumentation,
         )
         self.beam_width = beam_width
         self.rotate_start = rotate_start

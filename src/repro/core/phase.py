@@ -88,9 +88,11 @@ def run_phase(
     # next phase.  The scan is part of the per-phase batch-management
     # overhead the scheduler already charges.
     bound = now + quantum
-    ordered = [
+    admitted = [
         t for t in ordered if bound + t.processing_time <= t.deadline + 1e-9
     ]
+    prefilter_rejected = len(ordered) - len(admitted)
+    ordered = admitted
     offsets = projected_offsets(loads, quantum)
     ctx = PhaseContext(
         tasks=ordered,
@@ -104,6 +106,7 @@ def run_phase(
     if budget is None:
         budget = VirtualTimeBudget(quantum=quantum, per_vertex_cost=per_vertex_cost)
     outcome = run_search(ctx, expander, budget, max_candidates=max_candidates)
+    outcome.stats.prefilter_rejected = prefilter_rejected
     time_used = min(max(outcome.time_used, MIN_PHASE_TIME), quantum)
     return PhaseResult(
         schedule=outcome.extract_schedule(ctx),

@@ -94,6 +94,7 @@ class AssignmentOrientedExpander(Expander):
                     child = make_child(vertex, index, processor, total, comm)
                     child.value = evaluate(ctx, child)
                     candidates.append(child)
+            stats.feasibility_rejections += ctx.num_processors - len(candidates)
             if candidates:
                 if hopeless_mask:
                     # Infeasible-everywhere tasks stay infeasible below this
@@ -105,6 +106,7 @@ class AssignmentOrientedExpander(Expander):
                 candidates.sort(key=lambda v: v.value)
                 return Expansion(successors=candidates)
             hopeless_mask |= 1 << index
+            stats.tasks_pruned += 1
         # No task could extend the schedule.  If every unscheduled task was
         # probed, this vertex is provably maximal (exhaustive=True).
         return Expansion(successors=[], exhaustive=not truncated)
@@ -166,6 +168,7 @@ class SequenceOrientedExpander(Expander):
         budget.charge(probed)
         stats.vertices_generated += probed
         stats.task_probes += 1 if probed else 0
+        stats.feasibility_rejections += probed - len(candidates)
         candidates.sort(key=lambda v: v.value)
         # A failed level only proves infeasibility on *this* processor, so a
         # sequence-oriented expansion is never exhaustive: the representation

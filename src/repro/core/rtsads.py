@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..observability import Instrumentation
 from .affinity import CommunicationModel
 from .cost import LoadBalancingEvaluator, VertexEvaluator
 from .quantum import QuantumPolicy, SelfAdjustingQuantum
@@ -49,6 +50,7 @@ class RTSADS(SearchScheduler):
         per_vertex_cost: float = DEFAULT_PER_VERTEX_COST,
         max_task_probes: Optional[int] = None,
         max_candidates: Optional[int] = 100_000,
+        instrumentation: Optional["Instrumentation"] = None,
     ) -> None:
         expander = AssignmentOrientedExpander(max_task_probes=max_task_probes)
         super().__init__(
@@ -60,4 +62,5 @@ class RTSADS(SearchScheduler):
             per_vertex_cost=per_vertex_cost,
             max_candidates=max_candidates,
             name="RT-SADS",
+            instrumentation=instrumentation,
         )

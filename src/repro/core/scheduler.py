@@ -11,11 +11,12 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Optional, Sequence
 
+from ..observability import Instrumentation, get_instrumentation
 from .affinity import CommunicationModel
 from .cost import LoadBalancingEvaluator, VertexEvaluator
 from .phase import PhaseResult, run_phase
 from .quantum import QuantumPolicy, SelfAdjustingQuantum
-from .search import Expander, VirtualTimeBudget
+from .search import Expander, SearchStats, VirtualTimeBudget
 from .task import Task
 
 #: Default modelled cost of generating/evaluating one search vertex, in the
@@ -38,6 +39,45 @@ DEFAULT_QUANTUM_CAP_FACTOR = 3.0
 #: free-restart regime where an algorithm converts dead-end micro-phases
 #: into a zero-cost trickle scheduler.
 DEFAULT_PHASE_OVERHEAD_FACTOR = 1.0
+
+
+def record_phase_metrics(
+    obs: Instrumentation,
+    name: str,
+    stats: SearchStats,
+    quantum: float,
+    batch_size: int,
+) -> None:
+    """Accumulate one phase's search counters under ``scheduler=name``.
+
+    Shared by every scheduler implementation so the per-scheduler series in
+    a metrics snapshot are comparable regardless of algorithm.
+    """
+    metrics = obs.metrics
+    metrics.counter("scheduler_phases", scheduler=name).inc()
+    metrics.counter(
+        "scheduler_vertices_generated", scheduler=name
+    ).inc(stats.vertices_generated)
+    metrics.counter("scheduler_expansions", scheduler=name).inc(stats.expansions)
+    metrics.counter("scheduler_backtracks", scheduler=name).inc(stats.backtracks)
+    metrics.counter(
+        "scheduler_feasibility_rejections", scheduler=name
+    ).inc(stats.feasibility_rejections)
+    metrics.counter(
+        "scheduler_prefilter_rejected", scheduler=name
+    ).inc(stats.prefilter_rejected)
+    metrics.counter(
+        "scheduler_tasks_pruned", scheduler=name
+    ).inc(stats.tasks_pruned)
+    if stats.dead_end:
+        metrics.counter("scheduler_dead_ends", scheduler=name).inc()
+    if stats.complete:
+        metrics.counter("scheduler_complete_phases", scheduler=name).inc()
+    metrics.histogram("scheduler_quantum", scheduler=name).observe(quantum)
+    metrics.histogram("scheduler_batch_size", scheduler=name).observe(batch_size)
+    metrics.histogram(
+        "scheduler_search_depth", scheduler=name
+    ).observe(stats.max_depth)
 
 
 def phase_overhead(
@@ -65,6 +105,11 @@ class Scheduler(ABC):
     """A dynamic scheduler usable by the on-line runtime."""
 
     name: str = "scheduler"
+
+    #: None means "use the process default at phase time"; the runtime
+    #: injects its own instrumentation here for the duration of a run so an
+    #: explicitly instrumented ``simulate(...)`` reaches the phase loop too.
+    instrumentation: Optional[Instrumentation] = None
 
     @abstractmethod
     def plan_quantum(
@@ -107,6 +152,7 @@ class SearchScheduler(Scheduler):
         quantum_cap_factor: Optional[float] = DEFAULT_QUANTUM_CAP_FACTOR,
         phase_overhead_factor: float = DEFAULT_PHASE_OVERHEAD_FACTOR,
         name: str = "search-scheduler",
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         if per_vertex_cost <= 0:
             raise ValueError("per_vertex_cost must be positive")
@@ -123,6 +169,9 @@ class SearchScheduler(Scheduler):
         self.quantum_cap_factor = quantum_cap_factor
         self.phase_overhead_factor = phase_overhead_factor
         self.name = name
+        # None means "use the process default at phase time", so switching
+        # the global instrumentation on affects already-built schedulers.
+        self.instrumentation = instrumentation
         self.phase_index = 0
 
     def plan_quantum(
@@ -162,17 +211,58 @@ class SearchScheduler(Scheduler):
             quantum=quantum + overhead, per_vertex_cost=self.per_vertex_cost
         )
         budget.consume(overhead)
-        result = run_phase(
-            tasks=batch,
-            loads=loads,
-            now=now,
-            quantum=quantum + overhead,
-            comm=self.comm,
-            expander=expander,
-            evaluator=self.evaluator,
-            budget=budget,
-            per_vertex_cost=self.per_vertex_cost,
-            max_candidates=self.max_candidates,
+        obs = self.instrumentation or get_instrumentation()
+        if not obs.enabled:
+            result = run_phase(
+                tasks=batch,
+                loads=loads,
+                now=now,
+                quantum=quantum + overhead,
+                comm=self.comm,
+                expander=expander,
+                evaluator=self.evaluator,
+                budget=budget,
+                per_vertex_cost=self.per_vertex_cost,
+                max_candidates=self.max_candidates,
+            )
+            self.phase_index += 1
+            return result
+        with obs.span("phase", scheduler=self.name, phase=self.phase_index) as span:
+            result = run_phase(
+                tasks=batch,
+                loads=loads,
+                now=now,
+                quantum=quantum + overhead,
+                comm=self.comm,
+                expander=expander,
+                evaluator=self.evaluator,
+                budget=budget,
+                per_vertex_cost=self.per_vertex_cost,
+                max_candidates=self.max_candidates,
+            )
+            span.set(
+                t=now,
+                quantum=result.quantum,
+                time_used=result.time_used,
+                batch_size=len(batch),
+                scheduled=len(result.schedule),
+                vertices_generated=result.stats.vertices_generated,
+                expansions=result.stats.expansions,
+                backtracks=result.stats.backtracks,
+                feasibility_rejections=result.stats.feasibility_rejections,
+                prefilter_rejected=result.stats.prefilter_rejected,
+                tasks_pruned=result.stats.tasks_pruned,
+                dead_end=result.stats.dead_end,
+                complete=result.stats.complete,
+                max_depth=result.stats.max_depth,
+            )
+        record_phase_metrics(obs, self.name, result.stats, quantum, len(batch))
+        obs.logger.debug(
+            "phase complete",
+            scheduler=self.name,
+            phase=self.phase_index,
+            scheduled=len(result.schedule),
+            vertices=result.stats.vertices_generated,
         )
         self.phase_index += 1
         return result

@@ -194,6 +194,14 @@ class SearchStats:
     expansions: int = 0
     backtracks: int = 0
     task_probes: int = 0
+    #: Candidates generated but rejected by the Figure-4 feasibility test.
+    feasibility_rejections: int = 0
+    #: Tasks proven infeasible on every processor and pruned from a subtree
+    #: (assignment-oriented only; they roll over to the next batch).
+    tasks_pruned: int = 0
+    #: Tasks removed before the search by the necessary-condition pre-filter
+    #: (``t_s + Q_s + p > d``); set by :func:`repro.core.phase.run_phase`.
+    prefilter_rejected: int = 0
     dead_end: bool = False
     complete: bool = False
     maximal: bool = False
@@ -206,6 +214,9 @@ class SearchStats:
         self.expansions += other.expansions
         self.backtracks += other.backtracks
         self.task_probes += other.task_probes
+        self.feasibility_rejections += other.feasibility_rejections
+        self.tasks_pruned += other.tasks_pruned
+        self.prefilter_rejected += other.prefilter_rejected
         self.dead_end = self.dead_end or other.dead_end
         self.complete = self.complete or other.complete
         self.maximal = self.maximal or other.maximal
@@ -317,20 +328,37 @@ class WallClockBudget(SearchBudget):
     Used by the scheduling-overhead experiment (E4) to document how an
     interpreter-speed host distorts the timing study; `charge` only counts
     vertices, time flows by itself.
+
+    The clock starts lazily on the first :meth:`used` / :meth:`charge`
+    call, not at construction: a budget is typically built alongside the
+    phase context, and any setup work between construction and the search
+    must not be silently billed against the quantum.
     """
 
     def __init__(self, quantum_seconds: float) -> None:
         if quantum_seconds < 0:
             raise ValueError("quantum_seconds must be non-negative")
         self.quantum = quantum_seconds
-        self._start = time.perf_counter()
+        self._start: Optional[float] = None
         self.vertices_charged = 0
 
+    def _start_clock(self) -> float:
+        if self._start is None:
+            self._start = time.perf_counter()
+        return self._start
+
+    @property
+    def started(self) -> bool:
+        """Whether any search work has started the clock yet."""
+        return self._start is not None
+
     def charge(self, vertices: int) -> None:
+        self._start_clock()
         self.vertices_charged += vertices
 
     def used(self) -> float:
-        return time.perf_counter() - self._start
+        start = self._start_clock()
+        return time.perf_counter() - start
 
     def exhausted(self) -> bool:
         return self.used() >= self.quantum

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from ..observability import get_instrumentation
 from .cost_model import WRITE_COST_FACTOR, TransactionCostModel
 from .locks import LockManager, LockMode
 from .schema import Schema
@@ -89,6 +90,19 @@ class TransactionExecutor:
         if self.lock_manager is not None:
             self.lock_manager.release(resource, owner)
 
+    def _record_access(
+        self, kind: str, subdb: int, tuples_checked: int, rows_changed: int
+    ) -> None:
+        """Count one sub-database access in the process metrics registry."""
+        obs = get_instrumentation()
+        if not obs.enabled:
+            return
+        metrics = obs.metrics
+        metrics.counter("db_executions", kind=kind, subdb=subdb).inc()
+        metrics.counter("db_tuples_checked", subdb=subdb).inc(tuples_checked)
+        if rows_changed:
+            metrics.counter("db_rows_changed", subdb=subdb).inc(rows_changed)
+
     def execute(self, txn: Transaction) -> ExecutionOutcome:
         """Run the checking process; raises if the partition is not local.
 
@@ -108,6 +122,7 @@ class TransactionExecutor:
         # An absent key value still costs one index probe, matching the
         # cost model's positive-cost floor.
         tuples_checked = max(1, tuples_checked)
+        self._record_access("read", target, tuples_checked, 0)
         return ExecutionOutcome(
             txn_id=txn.txn_id,
             subdb=target,
@@ -138,6 +153,7 @@ class TransactionExecutor:
         if self.global_index is not None and deltas:
             self.global_index.apply_deltas(deltas)
         tuples_checked = max(1, tuples_checked)
+        self._record_access("write", target, tuples_checked, rows_changed)
         cost = self.check_cost * (
             tuples_checked + self.WRITE_COST_FACTOR * rows_changed
         )

@@ -17,6 +17,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
+from ..observability import get_instrumentation
+
 
 class LockMode(enum.Enum):
     """Classic two-mode locking: many readers or one writer."""
@@ -68,6 +70,20 @@ class LockManager:
         self.granted_count = 0
         self.queued_count = 0
 
+    def _record_wait(self, resource: int, owner: int, mode: LockMode) -> None:
+        """A request queued instead of being granted: count + trace event."""
+        self.queued_count += 1
+        obs = get_instrumentation()
+        if obs.enabled:
+            obs.metrics.counter("locks_waits", mode=mode.value).inc()
+            obs.emit("lock_wait", resource=resource, owner=owner, mode=mode.value)
+
+    def _record_grant(self, mode: LockMode) -> None:
+        self.granted_count += 1
+        obs = get_instrumentation()
+        if obs.enabled:
+            obs.metrics.counter("locks_grants", mode=mode.value).inc()
+
     def _state(self, resource: int) -> _ResourceState:
         return self._resources.setdefault(resource, _ResourceState())
 
@@ -94,10 +110,10 @@ class LockManager:
             # Upgrade S -> X.
             if len(state.holders) == 1:
                 state.holders[owner] = LockMode.EXCLUSIVE
-                self.granted_count += 1
+                self._record_grant(LockMode.EXCLUSIVE)
                 return True
             state.waiters.appendleft(_LockRequest(owner, LockMode.EXCLUSIVE))
-            self.queued_count += 1
+            self._record_wait(resource, owner, LockMode.EXCLUSIVE)
             return False
         request = _LockRequest(owner, mode)
         # FIFO fairness: a new request must also wait behind queued ones of
@@ -109,10 +125,10 @@ class LockManager:
         )
         if state.grant_allowed(request) and not blocked_by_queue:
             state.holders[owner] = mode
-            self.granted_count += 1
+            self._record_grant(mode)
             return True
         state.waiters.append(request)
-        self.queued_count += 1
+        self._record_wait(resource, owner, mode)
         return False
 
     def release(self, resource: int, owner: int) -> List[Tuple[int, LockMode]]:
@@ -138,7 +154,7 @@ class LockManager:
                 state.waiters.popleft()
                 state.holders[request.owner] = request.mode
                 granted.append((request.owner, request.mode))
-                self.granted_count += 1
+                self._record_grant(request.mode)
                 # SHARED grants can cascade; EXCLUSIVE blocks the rest.
                 if request.mode is LockMode.EXCLUSIVE:
                     break

@@ -8,15 +8,28 @@ Examples::
     python -m repro.experiments overhead --quick
     python -m repro.experiments ablate-quantum --quick
     python -m repro.experiments all --quick
+
+Observability (see EXPERIMENTS.md appendix for the schemas)::
+
+    python -m repro.experiments fig5 --quick --verbose
+    python -m repro.experiments fig5 --quick --trace-out trace.jsonl \\
+        --metrics-out metrics.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
 from typing import List, Optional
 
+from ..observability import (
+    Instrumentation,
+    JsonlSink,
+    StructuredLogger,
+    instrumented,
+)
 from .config import ExperimentConfig
 from .extensions import (
     ablation_interconnect,
@@ -91,7 +104,65 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--slack-factor", type=float, help="override slack factor SF"
     )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="progress line per repetition on stderr (INFO level)",
+    )
+    verbosity.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress everything below ERROR",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a JSONL event trace (phase spans, task lifecycle)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write a JSON metrics snapshot (per-scheduler counters, per cell)",
+    )
     return parser
+
+
+def build_instrumentation(args: argparse.Namespace) -> Optional[Instrumentation]:
+    """The CLI's instrumentation, or None when every flag is off.
+
+    Instrumentation stays disabled unless at least one observability flag is
+    given, keeping the default run path as fast as the uninstrumented seed.
+    """
+    wants_any = args.verbose or args.trace_out or args.metrics_out
+    if not wants_any:
+        return None
+    if args.verbose:
+        level = "info"
+    elif args.quiet:
+        level = "error"
+    else:
+        level = "warning"
+    sink = JsonlSink(args.trace_out) if args.trace_out else None
+    return Instrumentation(
+        logger=StructuredLogger(name="repro.experiments", level=level),
+        sink=sink,
+    )
+
+
+def write_metrics_snapshot(
+    path: str, obs: Instrumentation, experiments: List[str]
+) -> None:
+    """Dump the run's registry snapshot plus per-cell summaries as JSON."""
+    document = {
+        "experiments": experiments,
+        "cells": obs.cells,
+        "metrics": obs.metrics.snapshot(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -148,9 +219,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     config = config_from_args(args)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(run_experiment(name, config))
-        print()
+    obs = build_instrumentation(args)
+    if obs is None:
+        for name in names:
+            print(run_experiment(name, config))
+            print()
+        return 0
+    try:
+        with instrumented(obs):
+            for name in names:
+                obs.logger.info("experiment start", experiment=name)
+                with obs.span("experiment", experiment=name):
+                    print(run_experiment(name, config))
+                print()
+        if args.metrics_out:
+            write_metrics_snapshot(args.metrics_out, obs, names)
+            obs.logger.info("metrics written", path=args.metrics_out)
+        if args.trace_out:
+            obs.logger.info("trace written", path=args.trace_out)
+    finally:
+        obs.close()
     return 0
 
 

@@ -22,6 +22,7 @@ from ..core.scheduler import Scheduler
 from ..database.database import DatabaseConfig, DistributedDatabase
 from ..metrics.compliance import compliance_report
 from ..metrics.stats import ConfidenceInterval, confidence_interval, mean
+from ..observability import get_instrumentation
 from ..simulator.runtime import SimulationResult, simulate
 from ..workload.transactions import (
     TransactionWorkloadConfig,
@@ -119,11 +120,13 @@ def run_once(
         scheduler_name, config, comm,
         evaluator=evaluator, quantum_policy=quantum_policy,
     )
+    obs = get_instrumentation()
     return simulate(
         scheduler=scheduler,
         workload=tasks,
         num_workers=config.num_processors,
         validate_phases=validate_phases,
+        instrumentation=obs.bind(seed=seed) if obs.enabled else None,
     )
 
 
@@ -170,6 +173,10 @@ def run_cell(
     quantum_policy: Optional[QuantumPolicy] = None,
 ) -> CellResult:
     """Run every repetition of a cell and aggregate the paper's metrics."""
+    obs = get_instrumentation()
+    counters_before = (
+        dict(obs.metrics.snapshot()["counters"]) if obs.enabled else {}
+    )
     hit_percents: List[float] = []
     dead_end_rates: List[float] = []
     mean_depths: List[float] = []
@@ -177,7 +184,8 @@ def run_cell(
     scheduling_times: List[float] = []
     makespans: List[float] = []
     missed = 0
-    for seed in config.seeds():
+    seeds = config.seeds()
+    for repetition, seed in enumerate(seeds, start=1):
         result = run_once(
             config,
             scheduler_name,
@@ -193,7 +201,17 @@ def run_cell(
         scheduling_times.append(result.trace.total_scheduling_time())
         makespans.append(result.makespan)
         missed += report.scheduled_but_missed
-    return CellResult(
+        obs.logger.info(
+            "repetition done",
+            scheduler=scheduler_name,
+            rep=f"{repetition}/{len(seeds)}",
+            seed=seed,
+            processors=config.num_processors,
+            replication=config.replication_rate,
+            hit_percent=round(report.hit_percent, 2),
+            phases=len(result.phases),
+        )
+    cell = CellResult(
         scheduler_name=scheduler_name,
         config=config,
         hit_percents=hit_percents,
@@ -203,4 +221,32 @@ def run_cell(
         scheduling_times=scheduling_times,
         makespans=makespans,
         scheduled_but_missed=missed,
+    )
+    if obs.enabled:
+        _record_cell_snapshot(obs, cell, counters_before)
+    return cell
+
+
+def _record_cell_snapshot(obs, cell: CellResult, counters_before) -> None:
+    """Store one cell's summary + counter deltas for ``--metrics-out``."""
+    counters_after = obs.metrics.snapshot()["counters"]
+    deltas = {
+        key: value - counters_before.get(key, 0)
+        for key, value in counters_after.items()
+        if value != counters_before.get(key, 0)
+    }
+    config = cell.config
+    obs.record_cell(
+        {
+            "scheduler": cell.scheduler_name,
+            "processors": config.num_processors,
+            "replication": config.replication_rate,
+            "slack_factor": config.slack_factor,
+            "transactions": config.num_transactions,
+            "runs": config.runs,
+            "mean_hit_percent": cell.mean_hit_percent,
+            "mean_dead_end_rate": cell.mean_dead_end_rate,
+            "scheduled_but_missed": cell.scheduled_but_missed,
+            "counters": deltas,
+        }
     )

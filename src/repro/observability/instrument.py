@@ -1,0 +1,128 @@
+"""The instrumentation bundle every layer hooks into.
+
+:class:`Instrumentation` groups the three primitives — metrics registry,
+structured logger, trace sink — behind one object with an ``enabled`` flag.
+Instrumented code follows one discipline:
+
+* **hot paths** guard on ``obs.enabled`` before touching anything, so the
+  disabled case costs a single attribute read;
+* **cold paths** may call :meth:`emit` / :meth:`span` unguarded — both
+  short-circuit when disabled.
+
+A module-level default (:func:`get_instrumentation` /
+:func:`set_instrumentation`) lets the experiment CLI switch the whole stack
+on without threading a parameter through every constructor; components also
+accept an explicit ``instrumentation=`` for isolated use (tests, library
+embedding).  The default is :data:`NULL_INSTRUMENTATION` — everything off —
+so importing the library never logs, writes, or counts.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+from .log import OFF, StructuredLogger
+from .metrics import MetricsRegistry
+from .sinks import NULL_SINK, TraceSink
+from .tracing import NULL_SPAN, Span
+
+
+class Instrumentation:
+    """Metrics + logger + trace sink, with run/phase context binding."""
+
+    __slots__ = ("metrics", "logger", "sink", "enabled", "context", "cells")
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        logger: Optional[StructuredLogger] = None,
+        sink: Optional[TraceSink] = None,
+        enabled: bool = True,
+        context: Optional[Dict[str, object]] = None,
+        cells: Optional[List[Dict[str, object]]] = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.logger = (
+            logger
+            if logger is not None
+            else StructuredLogger(level=OFF if not enabled else "warning")
+        )
+        self.sink = sink if sink is not None else NULL_SINK
+        self.enabled = enabled
+        self.context = dict(context or {})
+        #: Per-cell snapshots recorded by the experiment runner.
+        self.cells = cells if cells is not None else []
+
+    @classmethod
+    def disabled(cls) -> "Instrumentation":
+        return cls(enabled=False, logger=StructuredLogger(level=OFF))
+
+    def bind(self, **context: object) -> "Instrumentation":
+        """A view sharing metrics/sink/cells but carrying extra context.
+
+        Bound context is stamped onto every emitted event and log record —
+        this is how a trace line knows which run and scheduler produced it.
+        """
+        merged = dict(self.context)
+        merged.update(context)
+        return Instrumentation(
+            metrics=self.metrics,
+            logger=self.logger.bind(**context),
+            sink=self.sink,
+            enabled=self.enabled,
+            context=merged,
+            cells=self.cells,
+        )
+
+    def emit(self, kind: str, **fields: object) -> None:
+        """Send one trace event (bound context merged in); no-op if off."""
+        if not self.enabled:
+            return
+        event: Dict[str, object] = {"event": kind}
+        event.update(self.context)
+        event.update(fields)
+        self.sink.emit(event)
+
+    def span(self, name: str, **attrs: object) -> "Span | object":
+        """A timed section; returns the shared null span when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def record_cell(self, summary: Dict[str, object]) -> None:
+        """Store one experiment cell's summary for ``--metrics-out``."""
+        if self.enabled:
+            self.cells.append(summary)
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+#: The everything-off singleton used until someone opts in.
+NULL_INSTRUMENTATION = Instrumentation.disabled()
+
+_default: Instrumentation = NULL_INSTRUMENTATION
+
+
+def get_instrumentation() -> Instrumentation:
+    """The process-wide instrumentation (disabled unless opted in)."""
+    return _default
+
+
+def set_instrumentation(obs: Optional[Instrumentation]) -> Instrumentation:
+    """Install ``obs`` as the process default (None restores disabled)."""
+    global _default
+    _default = obs if obs is not None else NULL_INSTRUMENTATION
+    return _default
+
+
+@contextmanager
+def instrumented(obs: Instrumentation):
+    """Temporarily install ``obs`` as the default (tests, one-off runs)."""
+    previous = get_instrumentation()
+    set_instrumentation(obs)
+    try:
+        yield obs
+    finally:
+        set_instrumentation(previous)

@@ -6,7 +6,7 @@ ready queues while a dedicated host processor runs scheduling phases
 concurrently.  See DESIGN.md Section 2 for the substitution rationale.
 """
 
-from .engine import SimulationEngine, SimulationError
+from .engine import SimulationEngine, SimulationError, SimulationObserver
 from .events import (
     EventQueue,
     HostWake,
@@ -74,6 +74,7 @@ __all__ = [
     "ScheduleDelivered",
     "SimulationEngine",
     "SimulationError",
+    "SimulationObserver",
     "SimulationResult",
     "SimulationTrace",
     "TaskArrived",

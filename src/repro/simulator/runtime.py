@@ -23,6 +23,7 @@ from typing import Iterable, List, Optional
 from ..core.scheduler import Scheduler
 from ..core.batch import Batch
 from ..core.task import Task, TaskSet
+from ..observability import Instrumentation, get_instrumentation
 from .engine import SimulationEngine, SimulationError
 from .events import (
     HostWake,
@@ -88,6 +89,7 @@ class DistributedRuntime:
         validate_phases: bool = False,
         execution_model: Optional[ExecutionTimeModel] = None,
         failures: Optional[List] = None,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         self.scheduler = scheduler
         self.machine = machine
@@ -103,6 +105,14 @@ class DistributedRuntime:
             if at < 0:
                 raise ValueError("failure time must be non-negative")
 
+        # Resolved at construction; bound with the scheduler name so every
+        # event this run emits says which scheduler produced it.
+        base_obs = instrumentation or get_instrumentation()
+        self.obs = (
+            base_obs.bind(scheduler=scheduler.name)
+            if base_obs.enabled
+            else base_obs
+        )
         self.engine = SimulationEngine()
         self.trace = SimulationTrace()
         self.batch = Batch()
@@ -117,10 +127,23 @@ class DistributedRuntime:
         self.engine.subscribe(TaskFinished, self._on_task_finished)
         self.engine.subscribe(ProcessorFailed, self._on_processor_failed)
 
+    # ----- instrumentation -------------------------------------------------
+
+    def _task_event(
+        self, transition: str, task_id: int, t: float, **extra: object
+    ) -> None:
+        """One task lifecycle transition (trace event + transition counter)."""
+        self.obs.emit("task", transition=transition, task_id=task_id, t=t, **extra)
+        self.obs.metrics.counter(
+            "runtime_task_transitions", transition=transition
+        ).inc()
+
     # ----- event handlers --------------------------------------------------
 
     def _on_task_arrived(self, now: float, event: TaskArrived) -> None:
         self._pending.append(event.task)
+        if self.obs.enabled:
+            self._task_event("arrived", event.task.task_id, now)
         self._request_wake(now)
 
     def _request_wake(self, now: float) -> None:
@@ -142,6 +165,10 @@ class DistributedRuntime:
         expired = self.batch.drop_expired(now)
         for task in expired:
             self.trace.records[task.task_id].status = STATUS_EXPIRED
+            if self.obs.enabled:
+                self._task_event(
+                    "expired", task.task_id, now, deadline=task.deadline
+                )
         if not self.batch:
             # Nothing schedulable; the host sleeps until the next arrival.
             return
@@ -179,6 +206,14 @@ class DistributedRuntime:
             record.planned_cost = entry.total_cost
             record.actual_cost = actual
             worker.deliver(entry, now, actual_cost=actual)
+            if self.obs.enabled:
+                self._task_event(
+                    "delivered",
+                    entry.task.task_id,
+                    now,
+                    processor=entry.processor,
+                    phase=phase_index,
+                )
         # Kick any worker that was idle and just received work.
         for entry in result.schedule:
             if not self.machine.workers[entry.processor].failed:
@@ -209,6 +244,13 @@ class DistributedRuntime:
         if running is not None:
             record = self.trace.records[running.task.task_id]
             record.started_at = running.started_at
+            if self.obs.enabled:
+                self._task_event(
+                    "started",
+                    running.task.task_id,
+                    running.started_at,
+                    processor=processor,
+                )
             self.engine.schedule_at(
                 running.finishes_at,
                 TaskFinished(processor=processor, task_id=running.task.task_id),
@@ -223,6 +265,10 @@ class DistributedRuntime:
             record = self.trace.records[lost.task.task_id]
             record.status = STATUS_FAILED
             record.finished_at = None
+            if self.obs.enabled:
+                self._task_event(
+                    "failed", lost.task.task_id, now, processor=event.processor
+                )
         for work in survivors:
             # Undelivered work returns to the host for rescheduling on the
             # surviving processors, through the normal feasibility path.
@@ -249,6 +295,14 @@ class DistributedRuntime:
         record = self.trace.records[event.task_id]
         record.status = STATUS_COMPLETED
         record.finished_at = now
+        if self.obs.enabled:
+            self._task_event(
+                "finished",
+                event.task_id,
+                now,
+                processor=event.processor,
+                met_deadline=record.met_deadline,
+            )
         self._maybe_start_worker(event.processor, now)
 
     # ----- public API ------------------------------------------------------
@@ -256,6 +310,26 @@ class DistributedRuntime:
     def run(self) -> SimulationResult:
         """Execute the full workload; returns the aggregated result."""
         self.scheduler.reset()
+        obs = self.obs
+        # Lend the run's instrumentation to the scheduler so phase spans and
+        # per-scheduler counters flow even when the caller passed it only to
+        # simulate(); an explicitly instrumented scheduler keeps its own.
+        lend_obs = obs.enabled and self.scheduler.instrumentation is None
+        if lend_obs:
+            self.scheduler.instrumentation = obs
+        try:
+            return self._run(obs)
+        finally:
+            if lend_obs:
+                self.scheduler.instrumentation = None
+
+    def _run(self, obs: Instrumentation) -> SimulationResult:
+        if obs.enabled:
+            obs.emit(
+                "run_start",
+                workers=self.machine.num_workers,
+                tasks=len(self.workload),
+            )
         for task in self.workload:
             self.trace.add_task(task)
             self.engine.schedule_at(task.arrival_time, TaskArrived(task))
@@ -268,13 +342,29 @@ class DistributedRuntime:
                 "this indicates a stalled host loop"
             )
         self.trace.finished_at = self.engine.now
-        return SimulationResult(
+        result = SimulationResult(
             trace=self.trace,
             scheduler_name=self.scheduler.name,
             num_workers=self.machine.num_workers,
             makespan=self.engine.now,
             events_dispatched=self.engine.events_dispatched,
         )
+        if obs.enabled:
+            obs.emit(
+                "run_end",
+                workers=self.machine.num_workers,
+                tasks=self.trace.total_tasks(),
+                deadline_hits=self.trace.deadline_hits(),
+                phases=len(self.trace.phases),
+                makespan=self.engine.now,
+                events_dispatched=self.engine.events_dispatched,
+            )
+            obs.metrics.counter("runtime_runs").inc()
+            obs.metrics.counter(
+                "runtime_events_dispatched"
+            ).inc(self.engine.events_dispatched)
+            obs.metrics.histogram("runtime_makespan").observe(self.engine.now)
+        return result
 
 
 def simulate(
@@ -285,6 +375,7 @@ def simulate(
     validate_phases: bool = False,
     execution_model: Optional[ExecutionTimeModel] = None,
     failures: Optional[List] = None,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build the machine and run one simulation.
 
@@ -306,5 +397,6 @@ def simulate(
         validate_phases=validate_phases,
         execution_model=execution_model,
         failures=failures,
+        instrumentation=instrumentation,
     )
     return runtime.run()

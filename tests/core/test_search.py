@@ -145,6 +145,42 @@ class TestWallClockBudget:
         budget = WallClockBudget(quantum_seconds=0.0)
         assert budget.exhausted()
 
+    def test_clock_starts_lazily_not_at_construction(self, monkeypatch):
+        # Regression: the budget is built alongside the phase context, and
+        # setup time between construction and the first search step must
+        # not be billed against the quantum.
+        from repro.core import search as search_module
+
+        fake_now = [100.0]
+        monkeypatch.setattr(
+            search_module.time, "perf_counter", lambda: fake_now[0]
+        )
+        budget = WallClockBudget(quantum_seconds=5.0)
+        assert not budget.started
+        fake_now[0] = 200.0  # a long pause before the search begins
+        budget.charge(1)
+        assert budget.started
+        fake_now[0] = 202.0
+        assert budget.used() == pytest.approx(2.0)
+        assert not budget.exhausted()
+        assert budget.remaining() == pytest.approx(3.0)
+
+    def test_first_used_call_starts_the_clock(self, monkeypatch):
+        from repro.core import search as search_module
+
+        fake_now = [50.0]
+        monkeypatch.setattr(
+            search_module.time, "perf_counter", lambda: fake_now[0]
+        )
+        budget = WallClockBudget(quantum_seconds=1.0)
+        fake_now[0] = 75.0
+        # The very first used() must read zero, not the setup gap.
+        assert budget.used() == pytest.approx(0.0)
+
+    def test_negative_quantum_rejected(self):
+        with pytest.raises(ValueError):
+            WallClockBudget(quantum_seconds=-1.0)
+
 
 class TestRunSearch:
     def test_schedules_all_when_feasible(self):

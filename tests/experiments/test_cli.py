@@ -63,3 +63,95 @@ class TestMain:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["does-not-exist"])
+
+
+class TestObservabilityFlags:
+    def test_verbose_and_quiet_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--verbose", "--quiet"])
+
+    def test_no_flags_means_no_instrumentation(self):
+        from repro.experiments.cli import build_instrumentation
+
+        args = build_parser().parse_args(["fig5"])
+        assert build_instrumentation(args) is None
+
+    def test_verbose_enables_info_logging(self):
+        from repro.observability import INFO
+        from repro.experiments.cli import build_instrumentation
+
+        args = build_parser().parse_args(["fig5", "--verbose"])
+        obs = build_instrumentation(args)
+        assert obs is not None and obs.enabled
+        assert obs.logger.level == INFO
+        obs.close()
+
+    def test_trace_out_attaches_jsonl_sink(self, tmp_path):
+        from repro.observability import JsonlSink
+        from repro.experiments.cli import build_instrumentation
+
+        path = tmp_path / "trace.jsonl"
+        args = build_parser().parse_args(["fig5", "--trace-out", str(path)])
+        obs = build_instrumentation(args)
+        assert isinstance(obs.sink, JsonlSink)
+        obs.close()
+        assert path.exists()
+
+
+class TestMainWithObservability:
+    ARGS = [
+        "ablate-representation",
+        "--quick",
+        "--runs", "1",
+        "--transactions", "30",
+        "--processors", "3",
+    ]
+
+    def test_trace_out_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.observability import read_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        code = main(self.ARGS + ["--trace-out", str(path)])
+        assert code == 0
+        events = read_jsonl(path)
+        assert events, "trace must not be empty"
+        kinds = {e["event"] for e in events}
+        assert {"run_start", "run_end", "span", "task"} <= kinds
+        phase_spans = [
+            e for e in events
+            if e["event"] == "span" and e.get("name") == "phase"
+        ]
+        assert phase_spans
+        for span in phase_spans:
+            assert "quantum" in span
+            assert "vertices_generated" in span
+            assert "feasibility_rejections" in span
+
+    def test_metrics_out_writes_snapshot(self, tmp_path, capsys):
+        import json as json_module
+
+        path = tmp_path / "metrics.json"
+        code = main(self.ARGS + ["--metrics-out", str(path)])
+        assert code == 0
+        document = json_module.loads(path.read_text())
+        assert document["experiments"] == ["ablate-representation"]
+        assert document["cells"], "per-cell summaries must be recorded"
+        counters = document["metrics"]["counters"]
+        assert any(k.startswith("scheduler_phases{") for k in counters)
+        assert counters["runtime_runs"] > 0
+
+    def test_observability_flags_leave_global_default_restored(
+        self, tmp_path, capsys
+    ):
+        from repro.observability import get_instrumentation
+
+        main(self.ARGS + ["--metrics-out", str(tmp_path / "m.json")])
+        assert not get_instrumentation().enabled
+
+    def test_default_run_has_no_observability_side_effects(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        code = main(list(self.ARGS))
+        assert code == 0
+        assert list(tmp_path.iterdir()) == []

@@ -96,3 +96,59 @@ class TestFileWriting:
         )
         assert rows[0][0] == "processors"
         assert len(rows) == 3
+
+
+class TestRoundTrips:
+    """Parse exported text back and compare field-by-field with the source."""
+
+    def test_figure_csv_round_trip_against_source(self, figure):
+        rows = list(csv.reader(io.StringIO(figure_to_csv(figure))))
+        header, data = rows[0], rows[1:]
+        assert header == [figure.x_label] + [s.label for s in figure.series]
+        assert [float(row[0]) for row in data] == [
+            float(x) for x in figure.x_values
+        ]
+        for column, series in enumerate(figure.series, start=1):
+            assert [float(row[column]) for row in data] == list(series.values)
+
+    def test_figure_json_round_trip_against_source(self, figure):
+        document = json.loads(figure_to_json(figure))
+        assert document["x_label"] == figure.x_label
+        assert document["y_label"] == figure.y_label
+        assert document["x_values"] == list(figure.x_values)
+        assert document["series"] == [
+            {"label": s.label, "values": list(s.values)}
+            for s in figure.series
+        ]
+        assert document["notes"] == list(figure.notes)
+
+    def test_figure_csv_comma_labels_survive_round_trip(self):
+        figure = FigureData(
+            title="T", x_label="m, processors", x_values=[1, 2]
+        )
+        figure.add_series("RT-SADS, SF=8", [10.0, 20.0])
+        figure.add_series('quoted "label", too', [5.0, 6.0])
+        text = figure_to_csv(figure)
+        rows = list(csv.reader(io.StringIO(text)))
+        # The csv module's RFC 4180 quoting keeps commas and quotes intact.
+        assert rows[0] == [
+            "m, processors",
+            "RT-SADS, SF=8",
+            'quoted "label", too',
+        ]
+        assert rows[1] == ["1", "10.0", "5.0"]
+
+    def test_table_csv_comma_cells_survive_round_trip(self):
+        headers = ["scheduler, variant", "hit %"]
+        data = [["RT-SADS, lazy", 91.2], ["D-COLS, eager", 84.0]]
+        rows = list(csv.reader(io.StringIO(table_to_csv(headers, data))))
+        assert rows[0] == headers
+        assert rows[1] == ["RT-SADS, lazy", "91.2"]
+        assert rows[2] == ["D-COLS, eager", "84.0"]
+
+    def test_table_json_round_trip_against_source(self):
+        headers = ["m", "hit %"]
+        data = [[2, 77.5], [4, 91.0]]
+        document = json.loads(table_to_json(headers, data, title="fig"))
+        assert document["headers"] == headers
+        assert document["rows"] == [dict(zip(headers, row)) for row in data]

@@ -1,0 +1,130 @@
+"""Tests for the Instrumentation bundle: binding, spans, the global default."""
+
+import pytest
+
+from repro.observability import (
+    NULL_INSTRUMENTATION,
+    NULL_SPAN,
+    Instrumentation,
+    MemorySink,
+    get_instrumentation,
+    instrumented,
+    set_instrumentation,
+)
+
+
+def make_obs():
+    sink = MemorySink()
+    return Instrumentation(sink=sink), sink
+
+
+class TestDisabled:
+    def test_null_instrumentation_is_off(self):
+        assert not NULL_INSTRUMENTATION.enabled
+
+    def test_emit_is_noop_when_disabled(self):
+        sink = MemorySink()
+        obs = Instrumentation(sink=sink, enabled=False)
+        obs.emit("task", transition="arrived")
+        assert len(sink) == 0
+
+    def test_span_returns_shared_null_span(self):
+        obs = Instrumentation.disabled()
+        assert obs.span("phase") is NULL_SPAN
+        # The null span accepts the full protocol silently.
+        with obs.span("phase") as span:
+            span.set(quantum=1.0)
+
+    def test_record_cell_is_noop_when_disabled(self):
+        obs = Instrumentation.disabled()
+        obs.record_cell({"scheduler": "rtsads"})
+        assert obs.cells == []
+
+
+class TestEmit:
+    def test_emit_merges_bound_context(self):
+        obs, sink = make_obs()
+        bound = obs.bind(scheduler="rtsads", seed=7)
+        bound.emit("task", transition="arrived", task_id=3)
+        assert sink.events == [
+            {
+                "event": "task",
+                "scheduler": "rtsads",
+                "seed": 7,
+                "transition": "arrived",
+                "task_id": 3,
+            }
+        ]
+
+    def test_bind_shares_metrics_sink_and_cells(self):
+        obs, sink = make_obs()
+        bound = obs.bind(seed=1)
+        assert bound.metrics is obs.metrics
+        assert bound.sink is sink
+        bound.record_cell({"scheduler": "rtsads"})
+        assert obs.cells == [{"scheduler": "rtsads"}]
+
+    def test_nested_bind_merges_context(self):
+        obs, sink = make_obs()
+        obs.bind(scheduler="rtsads").bind(seed=2).emit("task")
+        assert sink.events[0] == {
+            "event": "task",
+            "scheduler": "rtsads",
+            "seed": 2,
+        }
+
+
+class TestSpan:
+    def test_span_emits_event_and_observes_histogram(self):
+        obs, sink = make_obs()
+        with obs.span("phase", scheduler="rtsads") as span:
+            span.set(quantum=2.5)
+        (event,) = sink.of_kind("span")
+        assert event["name"] == "phase"
+        assert event["scheduler"] == "rtsads"
+        assert event["quantum"] == 2.5
+        assert event["wall_s"] >= 0
+        snap = obs.metrics.snapshot()
+        assert snap["histograms"]["span_seconds{span=phase}"]["count"] == 1
+
+    def test_span_records_error_kind_on_exception(self):
+        obs, sink = make_obs()
+        with pytest.raises(RuntimeError):
+            with obs.span("phase"):
+                raise RuntimeError("boom")
+        (event,) = sink.of_kind("span")
+        assert event["error"] == "RuntimeError"
+
+    def test_span_inherits_bound_context(self):
+        obs, sink = make_obs()
+        with obs.bind(seed=9).span("phase"):
+            pass
+        assert sink.of_kind("span")[0]["seed"] == 9
+
+
+class TestGlobalDefault:
+    def test_default_is_disabled(self):
+        assert get_instrumentation() is NULL_INSTRUMENTATION
+
+    def test_set_and_restore(self):
+        obs, _ = make_obs()
+        try:
+            assert set_instrumentation(obs) is obs
+            assert get_instrumentation() is obs
+        finally:
+            set_instrumentation(None)
+        assert get_instrumentation() is NULL_INSTRUMENTATION
+
+    def test_instrumented_context_manager_restores_on_exit(self):
+        obs, _ = make_obs()
+        with instrumented(obs) as active:
+            assert active is obs
+            assert get_instrumentation() is obs
+        assert get_instrumentation() is NULL_INSTRUMENTATION
+
+    def test_instrumented_restores_on_exception(self):
+        obs, _ = make_obs()
+        with pytest.raises(RuntimeError):
+            with instrumented(obs):
+                raise RuntimeError("boom")
+        assert get_instrumentation() is NULL_INSTRUMENTATION

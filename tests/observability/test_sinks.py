@@ -1,0 +1,81 @@
+"""Tests for trace sinks and the JSONL round trip."""
+
+import io
+import json
+
+import pytest
+
+from repro.observability import JsonlSink, MemorySink, read_jsonl
+
+
+class TestMemorySink:
+    def test_collects_and_filters_by_kind(self):
+        sink = MemorySink()
+        sink.emit({"event": "span", "name": "phase"})
+        sink.emit({"event": "task", "transition": "arrived"})
+        assert len(sink) == 2
+        assert sink.of_kind("task") == [
+            {"event": "task", "transition": "arrived"}
+        ]
+        sink.clear()
+        assert len(sink) == 0
+
+
+class TestJsonlSink:
+    def test_writes_one_compact_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"event": "run_start", "tasks": 3})
+        sink.emit({"event": "run_end", "tasks": 3})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0]) == {"event": "run_start", "tasks": 3}
+        assert sink.events_written == 2
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"event": "span"})
+        sink.close()
+        assert path.exists()
+
+    def test_stream_target_is_not_closed(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        sink.emit({"event": "span"})
+        sink.close()
+        # Caller owns the stream; the sink must leave it open.
+        assert not stream.closed
+        assert json.loads(stream.getvalue()) == {"event": "span"}
+
+
+class TestReadJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        events = [
+            {"event": "run_start", "scheduler": "rtsads"},
+            {"event": "span", "name": "phase", "wall_s": 0.001},
+        ]
+        sink = JsonlSink(path)
+        for event in events:
+            sink.emit(event)
+        sink.close()
+        assert read_jsonl(path) == events
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"event": "a"}\n\n{"event": "b"}\n')
+        assert [e["event"] for e in read_jsonl(path)] == ["a", "b"]
+
+    def test_invalid_json_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"event": "a"}\nnot-json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_jsonl(path)
+
+    def test_missing_event_kind_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "span"}\n')
+        with pytest.raises(ValueError, match="'event'"):
+            read_jsonl(path)
