@@ -1,0 +1,117 @@
+"""Microbenchmarks of the live cluster's wire layer.
+
+Not a paper figure — these bound the messaging tax the live runtime pays
+on top of scheduling: pack/unpack throughput of the length-prefixed JSON
+protocol, incremental frame decoding, and full round-trip latency over a
+real localhost TCP socket (hub on one end, worker channel on the other).
+If messages/sec here ever drops near the per-phase dispatch rate, the
+master's selector loop — not the scheduler — becomes the bottleneck.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import protocol
+from repro.cluster.network import CONNECT, MESSAGE, MessageHub, WorkerChannel
+from repro.cluster.protocol import HEADER, FrameDecoder, pack, unpack
+
+#: The hottest message on the wire: one per scheduled task.
+ASSIGN_MESSAGE = protocol.assign(
+    task_id=1234,
+    worker_id=7,
+    total_cost=523.5,
+    communication_cost=80.0,
+    deadline=9_876.25,
+)
+
+BATCH_SIZE = 1_000
+
+
+def test_pack_throughput(benchmark):
+    def pack_batch():
+        frame = b""
+        for _ in range(BATCH_SIZE):
+            frame = pack(ASSIGN_MESSAGE)
+        return frame
+
+    frame = benchmark(pack_batch)
+    assert len(frame) > HEADER.size
+    if getattr(benchmark, "stats", None):  # absent under --benchmark-disable
+        rate = BATCH_SIZE / benchmark.stats.stats.mean
+        print(f"\npack: {rate:,.0f} messages/sec")
+
+
+def test_unpack_throughput(benchmark):
+    body = pack(ASSIGN_MESSAGE)[HEADER.size:]
+
+    def unpack_batch():
+        message = None
+        for _ in range(BATCH_SIZE):
+            message = unpack(body)
+        return message
+
+    message = benchmark(unpack_batch)
+    assert message["task_id"] == 1234
+    if getattr(benchmark, "stats", None):
+        rate = BATCH_SIZE / benchmark.stats.stats.mean
+        print(f"\nunpack: {rate:,.0f} messages/sec")
+
+
+def test_frame_decoder_throughput(benchmark):
+    """Decoder fed realistic bursts: many frames per feed() call."""
+    burst = pack(ASSIGN_MESSAGE) * 50
+
+    def decode_bursts():
+        decoder = FrameDecoder()
+        total = 0
+        for _ in range(BATCH_SIZE // 50):
+            total += len(decoder.feed(burst))
+        return total
+
+    assert benchmark(decode_bursts) == BATCH_SIZE
+
+
+def test_localhost_round_trip_latency(benchmark):
+    """One ASSIGN out, one TASK_DONE back, over a real TCP socket pair.
+
+    The benchmarked unit is a single full round trip, so the reported mean
+    IS the localhost messaging latency the guarantee margin must absorb.
+    """
+    hub = MessageHub()
+    channel = WorkerChannel.connect(hub.host, hub.port, timeout=5.0)
+    try:
+        conn_id = None
+        for _ in range(200):
+            for event in hub.poll(0.02):
+                if event.kind == CONNECT:
+                    conn_id = event.conn_id
+            if conn_id is not None:
+                break
+        assert conn_id is not None
+
+        reply = protocol.task_done(
+            task_id=1234,
+            worker_id=7,
+            actual_cost=500.0,
+            estimated_cost=523.5,
+            exec_seconds=0.5,
+        )
+
+        def round_trip():
+            hub.send(conn_id, ASSIGN_MESSAGE)
+            received = []
+            while not received:
+                received = channel.poll(1.0)
+            channel.send(reply)
+            answered = []
+            while not any(e.kind == MESSAGE for e in answered):
+                answered = hub.poll(1.0)
+            return received[0], answered
+
+        received, answered = benchmark(round_trip)
+        assert received["type"] == protocol.ASSIGN
+        if getattr(benchmark, "stats", None):
+            latency_us = benchmark.stats.stats.mean * 1e6
+            print(f"\nround trip: {latency_us:,.0f} us mean")
+    finally:
+        channel.close()
+        hub.close()

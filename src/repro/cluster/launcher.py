@@ -1,0 +1,80 @@
+"""Process orchestration: one master, N workers, clean teardown.
+
+:func:`launch_cluster` is the single entry point callers use: it binds the
+master (in-process), spawns one OS process per working processor, runs the
+scheduling loop to completion, and — in a ``finally`` no failure mode
+skips — reaps every child: join with a deadline, then ``terminate()``,
+then ``kill()``.  Tests assert the post-condition directly: no orphan
+processes, and the master's port is immediately re-bindable.
+
+``spawn`` (not ``fork``) is used deliberately: workers must rebuild their
+state from the pickled :class:`~repro.cluster.config.ClusterConfig` alone,
+which keeps them honest about determinism and matches how a multi-host
+deployment would start them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional
+
+from ..observability import Instrumentation, get_instrumentation
+from .config import ClusterConfig
+from .master import ClusterMaster, ClusterReport
+from .worker import worker_main
+
+#: Grace period for workers to exit after SHUTDOWN before escalation.
+JOIN_GRACE_SECONDS = 5.0
+
+
+def launch_cluster(
+    config: ClusterConfig,
+    instrumentation: Optional[Instrumentation] = None,
+) -> ClusterReport:
+    """Run one live experiment end to end; always reaps the workers."""
+    obs = instrumentation or get_instrumentation()
+    master = ClusterMaster(config, instrumentation=obs)
+    # The master bound its listener in the constructor; give workers the
+    # real port (the config may have asked for an ephemeral one).
+    worker_config = config.with_port(master.port)
+    context = multiprocessing.get_context("spawn")
+    workers: List[multiprocessing.Process] = []
+    try:
+        for index in range(config.num_workers):
+            process = context.Process(
+                target=worker_main,
+                args=(worker_config, index),
+                name=f"repro-worker-{index}",
+                daemon=True,
+            )
+            process.start()
+            workers.append(process)
+        report = master.run()
+    finally:
+        master.close()
+        _reap(workers, obs)
+    return report
+
+
+def _reap(
+    workers: List[multiprocessing.Process], obs: Instrumentation
+) -> None:
+    """Join, then escalate: no code path may leak a worker process."""
+    for process in workers:
+        process.join(timeout=JOIN_GRACE_SECONDS)
+    for process in workers:
+        if process.is_alive():
+            obs.logger.warning(
+                "worker did not exit; terminating", worker=process.name
+            )
+            process.terminate()
+            process.join(timeout=2.0)
+    for process in workers:
+        if process.is_alive():
+            obs.logger.warning(
+                "worker survived terminate; killing", worker=process.name
+            )
+            process.kill()
+            process.join(timeout=2.0)
+    for process in workers:
+        process.close()

@@ -1,0 +1,628 @@
+"""The live scheduling master: RT-SADS on a dedicated OS process.
+
+This is the production-shaped counterpart of
+:class:`repro.simulator.runtime.DistributedRuntime`: the same phase loop
+(batch -> quantum -> search -> deliver), but time is the wall clock, the
+"working processors" are worker processes reached over TCP, and delivery is
+an ``ASSIGN`` message instead of a simulated ready-queue append.
+
+The paper's quantum criterion ``Q_s(j) <= max(Min_Slack, Min_Load)`` is
+self-adjusted against *wall-clock* quantities: ``Min_Slack`` is computed at
+the wall-derived virtual now, and ``Min_Load`` from the outstanding
+(dispatched, unfinished) worst-case work per worker — a live upper bound on
+each worker's remaining queue.
+
+**Guarantee discipline.**  The search's feasibility test assumes delivery
+by ``t_s + Q_s``; a real host can overshoot (interpreter jitter, message
+floods), so the master re-validates every entry at dispatch time against a
+fresh clock reading plus a safety margin: ``t_c + Load_k + (p + c) +
+margin <= d``.  Only entries passing that re-check are dispatched and
+counted *guaranteed*; the rest return to the batch.  This is what makes
+the paper's theorem — no guaranteed task misses its deadline — hold under
+wall-clock feasibility rather than simulated time.
+
+**Failure handling.**  A worker that misses two heartbeat intervals (or
+whose socket drops) is declared dead; its surrendered queue re-enters the
+batch with guarantees revoked and is rescheduled on the survivors through
+the normal feasibility path — the live analogue of ``extension_failures``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.affinity import UniformCommunicationModel
+from ..core.batch import Batch
+from ..core.task import Task
+from ..experiments.runner import build_scheduler
+from ..observability import Instrumentation, get_instrumentation
+from . import protocol
+from .config import ClusterConfig, build_cluster_workload
+from .failure import HeartbeatMonitor
+from .network import CONNECT, DISCONNECT, MESSAGE, MessageHub, NetworkEvent
+
+#: Deadline-comparison slop in virtual units (mirrors the core EPSILON).
+EPSILON = 1e-9
+
+#: Terminal and transient task states of the live run.
+PENDING = "pending"
+DISPATCHED = "dispatched"
+COMPLETED = "completed"
+EXPIRED = "expired"
+
+
+class ClusterError(RuntimeError):
+    """The live run could not start or complete."""
+
+
+class ClusterStartupError(ClusterError):
+    """Not every worker registered within the startup timeout."""
+
+
+class ClusterTimeoutError(ClusterError):
+    """The run exceeded its hard wall-clock budget and was aborted."""
+
+
+@dataclass
+class LiveTaskRecord:
+    """Lifecycle of one task through the live system (master's view)."""
+
+    task: Task
+    status: str = PENDING
+    worker: Optional[int] = None
+    guaranteed: bool = False
+    dispatched_at: Optional[float] = None  # virtual units
+    finished_at: Optional[float] = None  # virtual units
+    planned_cost: Optional[float] = None
+    actual_cost: Optional[float] = None
+    reschedules: int = 0
+
+    @property
+    def met_deadline(self) -> bool:
+        return (
+            self.status == COMPLETED
+            and self.finished_at is not None
+            and self.finished_at <= self.task.deadline + EPSILON
+        )
+
+
+@dataclass
+class _Dispatched:
+    """One outstanding assignment on a worker's queue (master bookkeeping)."""
+
+    task_id: int
+    planned_cost: float
+    deadline: float
+
+
+@dataclass
+class _WorkerState:
+    """Registration and queue state of one worker process."""
+
+    worker_id: int
+    conn_id: int
+    alive: bool = True
+    tasks_done: int = 0
+    outstanding: Dict[int, _Dispatched] = field(default_factory=dict)
+
+    def outstanding_units(self) -> float:
+        """Worst-case remaining work — the live ``Load_k`` upper bound."""
+        return sum(d.planned_cost for d in self.outstanding.values())
+
+
+@dataclass
+class ClusterReport:
+    """Outcome of one live run; the cluster analogue of a trace digest."""
+
+    scheduler_name: str
+    num_workers: int
+    total_tasks: int
+    guaranteed: int
+    completed: int
+    deadline_hits: int
+    completed_late: int
+    expired: int
+    guaranteed_violations: int
+    reschedules: int
+    workers_lost: int
+    phases: int
+    makespan_units: float
+    wall_seconds: float
+    port: int
+    seed: int
+
+    @property
+    def guarantee_ratio(self) -> float:
+        """Fraction of tasks the master dispatched under a guarantee."""
+        if not self.total_tasks:
+            return 0.0
+        return self.guaranteed / self.total_tasks
+
+    @property
+    def compliance_ratio(self) -> float:
+        """Fraction of tasks that finished by their deadline (wall clock)."""
+        if not self.total_tasks:
+            return 0.0
+        return self.deadline_hits / self.total_tasks
+
+    def render(self) -> str:
+        lines = [
+            (
+                f"Live cluster run - {self.scheduler_name} on "
+                f"{self.num_workers} workers (seed {self.seed})"
+            ),
+            (
+                f"guarantee ratio:  {self.guarantee_ratio:.3f} "
+                f"({self.guaranteed}/{self.total_tasks} guaranteed)"
+            ),
+            (
+                f"compliance ratio: {self.compliance_ratio:.3f} "
+                f"({self.deadline_hits}/{self.total_tasks} met their deadline)"
+            ),
+            (
+                f"completed {self.completed} (late {self.completed_late}), "
+                f"expired {self.expired}, "
+                f"guaranteed-but-missed {self.guaranteed_violations}"
+            ),
+            (
+                f"phases {self.phases}, reschedules {self.reschedules}, "
+                f"workers lost {self.workers_lost}"
+            ),
+            (
+                f"makespan {self.makespan_units:.1f} units "
+                f"({self.wall_seconds:.2f} s wall)"
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def remap_tasks(
+    tasks: Sequence[Task], alive: Sequence[int]
+) -> List[Task]:
+    """Project task affinities onto the alive-worker index space.
+
+    The search scheduler addresses processors ``0..m-1``; with dead workers
+    the master schedules over the survivors only, so affinities referring
+    to real worker ids are translated to positions in ``alive``.  Affinity
+    to a dead worker simply drops out (the data's surviving replicas keep
+    their entries; a fully-dead affinity set degrades to all-remote).
+    """
+    index_of = {worker_id: index for index, worker_id in enumerate(alive)}
+    remapped: List[Task] = []
+    for task in tasks:
+        mapped = frozenset(
+            index_of[p] for p in task.affinity if p in index_of
+        )
+        if mapped == task.affinity:
+            remapped.append(task)
+        else:
+            remapped.append(replace(task, affinity=mapped))
+    return remapped
+
+
+class ClusterMaster:
+    """Accepts workers, runs the scheduling loop, collects completions."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
+        self.config = config
+        base_obs = instrumentation or get_instrumentation()
+        self.obs = (
+            base_obs.bind(component="master") if base_obs.enabled else base_obs
+        )
+        experiment = config.experiment
+        self.database, tasks, _transactions = build_cluster_workload(
+            experiment, experiment.base_seed
+        )
+        self.comm = UniformCommunicationModel(experiment.remote_cost)
+        self.scheduler = build_scheduler(
+            config.scheduler_name, experiment, self.comm
+        )
+        # Binding happens here so the launcher can read the real port
+        # before spawning workers against an ephemeral (port=0) config.
+        self.hub = MessageHub(
+            config.host, config.port, instrumentation=self.obs
+        )
+        self.records: Dict[int, LiveTaskRecord] = {
+            task.task_id: LiveTaskRecord(task=task) for task in tasks
+        }
+        self._arrivals: List[Task] = sorted(
+            tasks, key=lambda t: (t.arrival_time, t.task_id)
+        )
+        self._next_arrival = 0
+        self.batch = Batch()
+        self.workers: Dict[int, _WorkerState] = {}
+        self._conn_to_worker: Dict[int, int] = {}
+        self.monitor = HeartbeatMonitor(
+            config.heartbeat_interval, config.heartbeat_miss_factor
+        )
+        self.phases = 0
+        self.reschedules = 0
+        self.workers_lost = 0
+        self.guaranteed_violations = 0
+        self._t0: Optional[float] = None
+        self._start_wall: Optional[float] = None
+
+    # ----- clocks ----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self.hub.port
+
+    def vnow(self) -> float:
+        """Virtual time: wall seconds since readiness, in cost units."""
+        if self._t0 is None:
+            return 0.0
+        return (time.monotonic() - self._t0) / self.config.seconds_per_unit
+
+    # ----- lifecycle -------------------------------------------------------
+
+    def run(self) -> ClusterReport:
+        """Serve one complete workload; returns the aggregated report."""
+        self._start_wall = time.monotonic()
+        try:
+            self._await_workers()
+            # The virtual clock starts when the cluster is ready: worker
+            # spawn time is deployment overhead, not scheduling overhead,
+            # and the bursty workload "arrives" at readiness.
+            self._t0 = time.monotonic()
+            self._loop()
+        finally:
+            try:
+                self.hub.broadcast(protocol.shutdown())
+                # One short drain so SHUTDOWN frames leave the socket
+                # buffers before the hub closes them.
+                self.hub.poll(0.05)
+            except OSError:
+                pass
+            self.close()
+        return self._build_report()
+
+    def close(self) -> None:
+        self.hub.close()
+
+    def _await_workers(self) -> None:
+        """Block until every worker said HELLO (or the startup timeout)."""
+        config = self.config
+        deadline = time.monotonic() + config.startup_timeout
+        while len(self.workers) < config.num_workers:
+            if time.monotonic() > deadline:
+                raise ClusterStartupError(
+                    f"only {len(self.workers)}/{config.num_workers} workers "
+                    f"registered within {config.startup_timeout}s"
+                )
+            for event in self.hub.poll(config.poll_interval):
+                if event.kind == MESSAGE and (
+                    event.message.get("type") == protocol.HELLO
+                ):
+                    self._register_worker(event.conn_id, event.message)
+                elif event.kind == DISCONNECT:
+                    self._on_disconnect(event.conn_id)
+        self.obs.logger.info(
+            "cluster ready", workers=len(self.workers), port=self.port
+        )
+
+    def _register_worker(self, conn_id: int, message: Dict) -> None:
+        worker_id = int(message["worker_id"])
+        if worker_id in self.workers:
+            self.obs.logger.warning(
+                "duplicate worker registration", worker=worker_id
+            )
+            return
+        state = _WorkerState(worker_id=worker_id, conn_id=conn_id)
+        self.workers[worker_id] = state
+        self._conn_to_worker[conn_id] = worker_id
+        self.monitor.register(worker_id, time.monotonic())
+        residency = self.database.placement.contents_of(worker_id)
+        self.hub.send(conn_id, protocol.welcome(worker_id, residency))
+        if self.obs.enabled:
+            self.obs.metrics.counter("cluster_workers_registered").inc()
+
+    # ----- main loop -------------------------------------------------------
+
+    def _loop(self) -> None:
+        config = self.config
+        while True:
+            for event in self.hub.poll(config.poll_interval):
+                self._handle_event(event)
+            now_wall = time.monotonic()
+            for worker_id in self.monitor.expired(now_wall):
+                self._worker_lost(worker_id, reason="missed heartbeats")
+            if now_wall - self._start_wall > config.max_wall_seconds:
+                raise ClusterTimeoutError(
+                    f"live run exceeded {config.max_wall_seconds}s; "
+                    "aborting and shutting the cluster down"
+                )
+            self._schedule_ready_work()
+            if self._finished():
+                return
+
+    def _handle_event(self, event: NetworkEvent) -> None:
+        if event.kind == CONNECT:
+            return  # identity arrives with HELLO
+        if event.kind == DISCONNECT:
+            self._on_disconnect(event.conn_id)
+            return
+        message = event.message
+        kind = message.get("type")
+        if kind == protocol.HELLO:
+            self._register_worker(event.conn_id, message)
+        elif kind == protocol.HEARTBEAT:
+            self.monitor.beat(int(message["worker_id"]), time.monotonic())
+            if self.obs.enabled:
+                self.obs.metrics.counter("cluster_heartbeats").inc()
+        elif kind == protocol.TASK_DONE:
+            self._on_task_done(message)
+        else:
+            self.obs.logger.warning(
+                "unexpected message at master", type=kind
+            )
+
+    def _on_disconnect(self, conn_id: int) -> None:
+        worker_id = self._conn_to_worker.pop(conn_id, None)
+        if worker_id is not None:
+            self._worker_lost(worker_id, reason="connection lost")
+
+    # ----- completions ------------------------------------------------------
+
+    def _on_task_done(self, message: Dict) -> None:
+        worker_id = int(message["worker_id"])
+        task_id = int(message["task_id"])
+        now_v = self.vnow()
+        self.monitor.beat(worker_id, time.monotonic())
+        state = self.workers.get(worker_id)
+        if state is not None:
+            state.outstanding.pop(task_id, None)
+            state.tasks_done += 1
+        record = self.records.get(task_id)
+        if record is None or record.status != DISPATCHED or (
+            record.worker != worker_id
+        ):
+            # Stale completion: the task was surrendered and rescheduled
+            # while this report was in flight.  First terminal state wins.
+            if self.obs.enabled:
+                self.obs.metrics.counter("cluster_stale_completions").inc()
+            return
+        record.status = COMPLETED
+        record.finished_at = now_v
+        record.actual_cost = float(message["actual_cost"])
+        if record.guaranteed and not record.met_deadline:
+            self.guaranteed_violations += 1
+            self.obs.logger.warning(
+                "guaranteed task missed its deadline",
+                task=task_id,
+                finished=round(now_v, 2),
+                deadline=record.task.deadline,
+            )
+        if self.obs.enabled:
+            self.obs.metrics.counter("cluster_tasks_completed").inc()
+            self.obs.emit(
+                "task",
+                transition="finished",
+                task_id=task_id,
+                t=now_v,
+                processor=worker_id,
+                met_deadline=record.met_deadline,
+            )
+
+    # ----- failures ---------------------------------------------------------
+
+    def _worker_lost(self, worker_id: int, reason: str) -> None:
+        state = self.workers.get(worker_id)
+        if state is None or not state.alive:
+            return
+        state.alive = False
+        self.workers_lost += 1
+        self.monitor.forget(worker_id)
+        self._conn_to_worker.pop(state.conn_id, None)
+        self.hub.close_connection(state.conn_id)
+        surrendered = list(state.outstanding.values())
+        state.outstanding.clear()
+        requeued = 0
+        for dispatched in surrendered:
+            record = self.records.get(dispatched.task_id)
+            if record is None or record.status != DISPATCHED:
+                continue
+            # The guarantee dies with the worker; the task re-enters the
+            # batch and must re-earn feasibility on the survivors.
+            record.status = PENDING
+            record.guaranteed = False
+            record.worker = None
+            record.dispatched_at = None
+            record.planned_cost = None
+            record.reschedules += 1
+            self.batch.add_arrivals([record.task])
+            self.reschedules += 1
+            requeued += 1
+        self.obs.logger.warning(
+            "worker lost",
+            worker=worker_id,
+            reason=reason,
+            surrendered=requeued,
+        )
+        if self.obs.enabled:
+            self.obs.metrics.counter("cluster_workers_lost").inc()
+            self.obs.metrics.counter("cluster_reschedules").inc(requeued)
+
+    # ----- scheduling -------------------------------------------------------
+
+    def _alive_workers(self) -> List[int]:
+        return sorted(
+            worker_id
+            for worker_id, state in self.workers.items()
+            if state.alive
+        )
+
+    def _admit_and_expire(self, now_v: float) -> None:
+        arrived: List[Task] = []
+        while self._next_arrival < len(self._arrivals):
+            task = self._arrivals[self._next_arrival]
+            if task.arrival_time > now_v:
+                break
+            arrived.append(task)
+            self._next_arrival += 1
+        if arrived:
+            self.batch.add_arrivals(arrived)
+        for task in self.batch.drop_expired(now_v):
+            record = self.records[task.task_id]
+            record.status = EXPIRED
+            if self.obs.enabled:
+                self.obs.metrics.counter("cluster_tasks_expired").inc()
+                self.obs.emit(
+                    "task",
+                    transition="expired",
+                    task_id=task.task_id,
+                    t=now_v,
+                    deadline=task.deadline,
+                )
+
+    def _schedule_ready_work(self) -> None:
+        """Run one scheduling phase if there is anything to place."""
+        now_v = self.vnow()
+        self._admit_and_expire(now_v)
+        if not self.batch:
+            return
+        alive = self._alive_workers()
+        if not alive:
+            return  # no capacity; leftovers expire as the clock advances
+        loads = [
+            self.workers[worker_id].outstanding_units() for worker_id in alive
+        ]
+        batch_tasks = remap_tasks(self.batch.edf_order(), alive)
+        quantum = self.scheduler.plan_quantum(batch_tasks, loads, now_v)
+        with self.obs.span(
+            "cluster_phase", phase=self.phases, batch=len(batch_tasks)
+        ) as span:
+            result = self.scheduler.schedule_phase(
+                batch_tasks, loads, now_v, quantum
+            )
+            dispatched = self._dispatch(result.schedule, alive, loads)
+            if span is not None and self.obs.enabled:
+                span.set(
+                    t=round(now_v, 3),
+                    quantum=quantum,
+                    scheduled=len(result.schedule),
+                    dispatched=dispatched,
+                )
+        self.phases += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("cluster_phases").inc()
+
+    def _dispatch(
+        self, schedule, alive: List[int], loads: List[float]
+    ) -> int:
+        """Re-validate and send each entry; returns how many went out.
+
+        ``loads`` starts as the phase's initial per-worker outstanding work
+        and accumulates this phase's own dispatches, so later entries on
+        the same worker see the queue the earlier ones created.
+        """
+        config = self.config
+        margin = config.guarantee_margin_units
+        dispatched = 0
+        cumulative = list(loads)
+        for entry in schedule:
+            worker_id = alive[entry.processor]
+            state = self.workers[worker_id]
+            if not state.alive:
+                continue  # died mid-phase; entry stays in the batch
+            record = self.records[entry.task.task_id]
+            now_v = self.vnow()
+            finish_bound = (
+                now_v + cumulative[entry.processor] + entry.total_cost
+            )
+            if finish_bound + margin > entry.task.deadline + EPSILON:
+                # The wall clock outran the phase's feasibility bound (or
+                # the margin eats the slack); not guaranteed, try again
+                # next phase or expire.
+                if self.obs.enabled:
+                    self.obs.metrics.counter(
+                        "cluster_dispatch_rejected"
+                    ).inc()
+                continue
+            sent = self.hub.send(
+                state.conn_id,
+                protocol.assign(
+                    task_id=entry.task.task_id,
+                    worker_id=worker_id,
+                    total_cost=entry.total_cost,
+                    communication_cost=entry.communication_cost,
+                    deadline=entry.task.deadline,
+                ),
+            )
+            if not sent:
+                self._worker_lost(worker_id, reason="send failed")
+                continue
+            self.batch.remove_scheduled([entry.task.task_id])
+            record.status = DISPATCHED
+            record.worker = worker_id
+            record.guaranteed = True
+            record.dispatched_at = now_v
+            record.planned_cost = entry.total_cost
+            state.outstanding[entry.task.task_id] = _Dispatched(
+                task_id=entry.task.task_id,
+                planned_cost=entry.total_cost,
+                deadline=entry.task.deadline,
+            )
+            cumulative[entry.processor] += entry.total_cost
+            dispatched += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("cluster_tasks_dispatched").inc()
+                self.obs.emit(
+                    "task",
+                    transition="dispatched",
+                    task_id=entry.task.task_id,
+                    t=now_v,
+                    processor=worker_id,
+                )
+        return dispatched
+
+    # ----- termination ------------------------------------------------------
+
+    def _finished(self) -> bool:
+        if self._next_arrival < len(self._arrivals):
+            return False
+        if self.batch:
+            return False
+        return all(
+            not state.outstanding for state in self.workers.values()
+        )
+
+    def _build_report(self) -> ClusterReport:
+        records = self.records.values()
+        completed = [r for r in records if r.status == COMPLETED]
+        hits = [r for r in completed if r.met_deadline]
+        expired = [r for r in records if r.status == EXPIRED]
+        guaranteed = [r for r in records if r.guaranteed]
+        makespan = max(
+            (r.finished_at for r in completed if r.finished_at is not None),
+            default=self.vnow(),
+        )
+        wall = (
+            time.monotonic() - self._start_wall
+            if self._start_wall is not None
+            else 0.0
+        )
+        return ClusterReport(
+            scheduler_name=self.scheduler.name,
+            num_workers=self.config.num_workers,
+            total_tasks=len(self.records),
+            guaranteed=len(guaranteed),
+            completed=len(completed),
+            deadline_hits=len(hits),
+            completed_late=len(completed) - len(hits),
+            expired=len(expired),
+            guaranteed_violations=self.guaranteed_violations,
+            reschedules=self.reschedules,
+            workers_lost=self.workers_lost,
+            phases=self.phases,
+            makespan_units=makespan,
+            wall_seconds=wall,
+            port=self.port,
+            seed=self.config.experiment.base_seed,
+        )

@@ -1,0 +1,191 @@
+"""Wire protocol of the live cluster runtime.
+
+Messages are length-prefixed JSON frames: a 4-byte big-endian payload
+length followed by a UTF-8 JSON object.  Every payload carries the protocol
+version (``v``) and a message ``type``; peers reject frames from other
+versions instead of mis-parsing them.  The constructors below are the only
+sanctioned way to build messages, so master and worker can never drift on
+field names.
+
+Message types
+-------------
+``HELLO``      worker -> master: registration (worker index, pid, host).
+``WELCOME``    master -> worker: registration ack + resident sub-databases.
+``ASSIGN``     master -> worker: one guaranteed task-to-processor assignment.
+``TASK_DONE``  worker -> master: actual vs estimated execution cost.
+``HEARTBEAT``  worker -> master: liveness + queue depth.
+``SHUTDOWN``   master -> worker: drain and exit.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, Iterable, List
+
+#: Bump on any incompatible change to frame layout or message fields.
+PROTOCOL_VERSION = 1
+
+#: 4-byte big-endian unsigned payload length.
+HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's payload; anything larger is a corrupt stream
+#: (the largest legitimate message is an ASSIGN of a few hundred bytes).
+MAX_FRAME_BYTES = 1 << 20
+
+HELLO = "HELLO"
+WELCOME = "WELCOME"
+ASSIGN = "ASSIGN"
+TASK_DONE = "TASK_DONE"
+HEARTBEAT = "HEARTBEAT"
+SHUTDOWN = "SHUTDOWN"
+
+MESSAGE_TYPES = frozenset(
+    {HELLO, WELCOME, ASSIGN, TASK_DONE, HEARTBEAT, SHUTDOWN}
+)
+
+
+class ProtocolError(ValueError):
+    """A frame or message violates the protocol."""
+
+
+def pack(message: Dict[str, object]) -> bytes:
+    """Serialize one message into a length-prefixed frame."""
+    kind = message.get("type")
+    if kind not in MESSAGE_TYPES:
+        raise ProtocolError(f"unknown message type {kind!r}")
+    payload = dict(message)
+    payload["v"] = PROTOCOL_VERSION
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    )
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    return HEADER.pack(len(body)) + body
+
+
+def unpack(body: bytes) -> Dict[str, object]:
+    """Decode one frame payload, validating version and type."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame payload is {type(message).__name__}, not an object")
+    version = message.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {version!r} != {PROTOCOL_VERSION}"
+        )
+    if message.get("type") not in MESSAGE_TYPES:
+        raise ProtocolError(f"unknown message type {message.get('type')!r}")
+    return message
+
+
+class FrameDecoder:
+    """Incremental decoder: feed raw bytes, get complete messages.
+
+    One instance per connection; it owns the connection's receive buffer so
+    frames split across ``recv`` calls (or several frames arriving in one)
+    reassemble correctly.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Dict[str, object]]:
+        """Absorb ``data``; return every message completed by it."""
+        self._buffer.extend(data)
+        messages: List[Dict[str, object]] = []
+        while len(self._buffer) >= HEADER.size:
+            (length,) = HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"incoming frame of {length} bytes exceeds "
+                    f"{MAX_FRAME_BYTES}; stream is corrupt"
+                )
+            end = HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            body = bytes(self._buffer[HEADER.size:end])
+            del self._buffer[:end]
+            messages.append(unpack(body))
+        return messages
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+
+# ----- constructors ---------------------------------------------------------
+
+
+def hello(worker_id: int, pid: int, host: str) -> Dict[str, object]:
+    return {"type": HELLO, "worker_id": worker_id, "pid": pid, "host": host}
+
+
+def welcome(worker_id: int, residency: Iterable[int]) -> Dict[str, object]:
+    return {
+        "type": WELCOME,
+        "worker_id": worker_id,
+        "residency": sorted(residency),
+    }
+
+
+def assign(
+    task_id: int,
+    worker_id: int,
+    total_cost: float,
+    communication_cost: float,
+    deadline: float,
+) -> Dict[str, object]:
+    """One dispatched schedule entry.
+
+    ``total_cost`` is the worst case the master budgeted (``p + c``);
+    ``communication_cost`` the remote-access share of it; ``deadline`` the
+    absolute deadline in virtual units for the worker's own bookkeeping.
+    """
+    return {
+        "type": ASSIGN,
+        "task_id": task_id,
+        "worker_id": worker_id,
+        "total_cost": total_cost,
+        "communication_cost": communication_cost,
+        "deadline": deadline,
+    }
+
+
+def task_done(
+    task_id: int,
+    worker_id: int,
+    actual_cost: float,
+    estimated_cost: float,
+    exec_seconds: float,
+) -> Dict[str, object]:
+    """Completion report: actual checking work vs the master's estimate."""
+    return {
+        "type": TASK_DONE,
+        "task_id": task_id,
+        "worker_id": worker_id,
+        "actual_cost": actual_cost,
+        "estimated_cost": estimated_cost,
+        "exec_seconds": exec_seconds,
+    }
+
+
+def heartbeat(
+    worker_id: int, queue_depth: int, tasks_done: int
+) -> Dict[str, object]:
+    return {
+        "type": HEARTBEAT,
+        "worker_id": worker_id,
+        "queue_depth": queue_depth,
+        "tasks_done": tasks_done,
+    }
+
+
+def shutdown(reason: str = "complete") -> Dict[str, object]:
+    return {"type": SHUTDOWN, "reason": reason}

@@ -65,6 +65,10 @@ EXPERIMENTS = (
     "failures",
 )
 
+#: Runs real processes over TCP, so it is not part of "all" (which stays a
+#: pure-simulation sweep safe for any sandbox).
+CLUSTER_COMMAND = "cluster"
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -76,8 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("all",),
-        help="which experiment to run",
+        choices=EXPERIMENTS + ("all", CLUSTER_COMMAND),
+        help=(
+            "which experiment to run; 'cluster' runs the live master/worker "
+            "system over localhost TCP instead of the simulator"
+        ),
     )
     scale = parser.add_mutually_exclusive_group()
     scale.add_argument(
@@ -125,6 +132,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         metavar="PATH",
         help="write a JSON metrics snapshot (per-scheduler counters, per cell)",
+    )
+    cluster = parser.add_argument_group(
+        "cluster mode", "only meaningful with the 'cluster' experiment"
+    )
+    cluster.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker processes to spawn (default 4)",
+    )
+    cluster.add_argument(
+        "--tasks",
+        type=int,
+        default=200,
+        help="transactions in the live workload (default 200)",
+    )
+    cluster.add_argument(
+        "--scheduler",
+        default="rtsads",
+        help="scheduler to run on the live master (default rtsads)",
+    )
+    cluster.add_argument(
+        "--kill-worker",
+        metavar="INDEX@SECONDS",
+        help="fail-stop one worker mid-run, e.g. 1@0.5",
+    )
+    cluster.add_argument(
+        "--time-scale",
+        type=float,
+        help="wall seconds per virtual cost unit (default 0.001)",
+    )
+    cluster.add_argument(
+        "--heartbeat",
+        type=float,
+        help="worker heartbeat interval in seconds (default 0.25)",
     )
     return parser
 
@@ -215,8 +257,58 @@ def run_experiment(name: str, config: ExperimentConfig) -> str:
     raise ValueError(f"unknown experiment {name!r}")
 
 
+def run_cluster(args: argparse.Namespace) -> int:
+    """Launch the live master/worker system and print its report."""
+    # Imported lazily: simulation-only usage never touches sockets or
+    # multiprocessing machinery.
+    from ..cluster import ClusterConfig, FailurePlan, launch_cluster
+
+    overrides = {"scheduler_name": args.scheduler}
+    if args.kill_worker:
+        overrides["failure"] = FailurePlan.parse(args.kill_worker)
+    if args.time_scale is not None:
+        overrides["seconds_per_unit"] = args.time_scale
+    if args.heartbeat is not None:
+        overrides["heartbeat_interval"] = args.heartbeat
+    config = ClusterConfig.default(
+        workers=args.workers,
+        tasks=args.tasks,
+        seed=args.seed if args.seed is not None else 1,
+        slack_factor=(
+            args.slack_factor if args.slack_factor is not None else 3.0
+        ),
+        **overrides,
+    )
+    obs = build_instrumentation(args)
+    if obs is None:
+        report = launch_cluster(config)
+    else:
+        try:
+            with instrumented(obs):
+                with obs.span("cluster_run", workers=config.num_workers):
+                    report = launch_cluster(config, instrumentation=obs)
+            if args.metrics_out:
+                write_metrics_snapshot(
+                    args.metrics_out, obs, [CLUSTER_COMMAND]
+                )
+        finally:
+            obs.close()
+    print(report.render())
+    # A guaranteed task missing its deadline falsifies the theorem the
+    # live system exists to demonstrate; make that loud in exit status.
+    return 0 if report.guaranteed_violations == 0 else 1
+
+
+def cluster_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-cluster`` console script."""
+    forwarded = list(sys.argv[1:] if argv is None else argv)
+    return main([CLUSTER_COMMAND, *forwarded])
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment == CLUSTER_COMMAND:
+        return run_cluster(args)
     config = config_from_args(args)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     obs = build_instrumentation(args)

@@ -1,0 +1,137 @@
+"""End-to-end live runs: real processes, real sockets, real execution.
+
+Determinism discipline for CI: fixed seeds, generous deadlines (SF=3),
+small workloads, the package-wide SIGALRM hard timeout, and an explicit
+no-leaked-children assertion after every launch.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    FailurePlan,
+    launch_cluster,
+)
+
+
+def assert_port_released(port: int) -> None:
+    """The master's listener must be gone the moment launch returns."""
+    probe = socket.socket()
+    probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        probe.bind(("127.0.0.1", port))
+    finally:
+        probe.close()
+
+
+class TestLiveCluster:
+    def test_smoke_run_completes_with_full_accounting(
+        self, assert_no_leaked_children
+    ):
+        config = ClusterConfig.smoke(workers=2, tasks=24, seed=7)
+        report = launch_cluster(config)
+
+        # Every task reached exactly one terminal state.
+        assert report.completed + report.expired == report.total_tasks
+        assert report.total_tasks == 24
+        # The theorem under test: dispatched guarantees hold on the wall
+        # clock.  With no injected failure nothing may be lost either.
+        assert report.guaranteed_violations == 0
+        assert report.workers_lost == 0
+        assert report.reschedules == 0
+        # Generous-deadline smoke workload schedules comfortably; anything
+        # below this means the live path is broken, not merely jittery.
+        assert report.compliance_ratio >= 0.5
+        assert report.guarantee_ratio >= report.compliance_ratio - 1e-9
+        assert report.phases >= 1
+        assert report.wall_seconds < config.max_wall_seconds
+        assert_port_released(report.port)
+
+    def test_deterministic_workload_across_runs(
+        self, assert_no_leaked_children
+    ):
+        """Same seed, same config => same task population and guarantees
+        (completion timing may jitter, the guarantee decision may not in a
+        comfortably feasible workload)."""
+        config = ClusterConfig.smoke(workers=2, tasks=16, seed=3)
+        first = launch_cluster(config)
+        second = launch_cluster(config)
+        assert first.total_tasks == second.total_tasks
+        assert first.guaranteed_violations == 0
+        assert second.guaranteed_violations == 0
+        assert_port_released(first.port)
+        assert_port_released(second.port)
+
+    def test_worker_failure_degrades_gracefully(
+        self, assert_no_leaked_children
+    ):
+        """Kill one worker mid-run: the master must detect the silence,
+        reschedule the surrendered queue, and still finish cleanly."""
+        config = ClusterConfig.smoke(
+            workers=3,
+            tasks=48,
+            seed=11,
+            failure=FailurePlan(worker_index=1, after_seconds=0.8),
+        )
+        report = launch_cluster(config)
+
+        assert report.workers_lost == 1
+        # The dead worker's queue was surrendered and re-entered the batch.
+        assert report.reschedules >= 1
+        # Surrender revokes the guarantee, so even the disrupted run keeps
+        # the theorem intact.
+        assert report.guaranteed_violations == 0
+        assert report.completed + report.expired == report.total_tasks
+        # Survivors kept working: the run did not collapse with the worker.
+        assert report.completed > 0
+        assert_port_released(report.port)
+
+
+class TestClusterCli:
+    def test_cluster_is_a_cli_choice_but_not_in_all(self):
+        from repro.experiments.cli import (
+            CLUSTER_COMMAND,
+            EXPERIMENTS,
+            build_parser,
+        )
+
+        assert CLUSTER_COMMAND not in EXPERIMENTS  # "all" stays simulation
+        args = build_parser().parse_args(
+            ["cluster", "--workers", "2", "--tasks", "40", "--seed", "1"]
+        )
+        assert args.experiment == CLUSTER_COMMAND
+        assert args.workers == 2
+        assert args.tasks == 40
+        assert args.seed == 1
+
+    def test_kill_worker_flag_parses_into_plan(self):
+        from repro.cluster import FailurePlan
+
+        plan = FailurePlan.parse("1@0.5")
+        assert plan.worker_index == 1
+        assert plan.after_seconds == 0.5
+
+    def test_cli_end_to_end_prints_both_ratios(
+        self, capsys, assert_no_leaked_children
+    ):
+        from repro.experiments.cli import main
+
+        rc = main(
+            [
+                "cluster",
+                "--workers",
+                "2",
+                "--tasks",
+                "12",
+                "--seed",
+                "7",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "guarantee ratio:" in out
+        assert "compliance ratio:" in out

@@ -1,0 +1,93 @@
+"""Master-side pure logic: affinity remapping and report arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterReport, remap_tasks
+from repro.core import make_task
+
+
+def make_report(**overrides) -> ClusterReport:
+    defaults = dict(
+        scheduler_name="rtsads",
+        num_workers=4,
+        total_tasks=100,
+        guaranteed=90,
+        completed=88,
+        deadline_hits=88,
+        completed_late=0,
+        expired=12,
+        guaranteed_violations=0,
+        reschedules=0,
+        workers_lost=0,
+        phases=10,
+        makespan_units=5000.0,
+        wall_seconds=5.0,
+        port=45000,
+        seed=1,
+    )
+    defaults.update(overrides)
+    return ClusterReport(**defaults)
+
+
+class TestRemapTasks:
+    def test_identity_when_all_workers_alive(self):
+        tasks = [
+            make_task(0, 10.0, 100.0, affinity=[0, 2]),
+            make_task(1, 10.0, 100.0, affinity=[1]),
+        ]
+        remapped = remap_tasks(tasks, alive=[0, 1, 2])
+        assert remapped == tasks
+
+    def test_affinities_shift_into_survivor_index_space(self):
+        """With worker 1 dead, survivors [0, 2, 3] become indices
+        [0, 1, 2]; a task pinned to real worker 3 must point at index 2."""
+        tasks = [make_task(0, 10.0, 100.0, affinity=[3])]
+        (remapped,) = remap_tasks(tasks, alive=[0, 2, 3])
+        assert remapped.affinity == frozenset({2})
+
+    def test_dead_worker_drops_out_of_affinity(self):
+        tasks = [make_task(0, 10.0, 100.0, affinity=[1, 2])]
+        (remapped,) = remap_tasks(tasks, alive=[0, 2])
+        assert remapped.affinity == frozenset({1})  # worker 2 -> index 1
+
+    def test_fully_dead_affinity_degrades_to_remote_everywhere(self):
+        tasks = [make_task(0, 10.0, 100.0, affinity=[1])]
+        (remapped,) = remap_tasks(tasks, alive=[0, 2])
+        assert remapped.affinity == frozenset()
+
+    def test_everything_but_affinity_is_preserved(self):
+        task = make_task(5, 12.5, 80.0, affinity=[1], arrival_time=3.0)
+        (remapped,) = remap_tasks([task], alive=[1, 2])
+        assert remapped.task_id == task.task_id
+        assert remapped.processing_time == task.processing_time
+        assert remapped.arrival_time == task.arrival_time
+        assert remapped.deadline == task.deadline
+
+
+class TestClusterReport:
+    def test_ratios(self):
+        report = make_report(
+            total_tasks=200, guaranteed=150, deadline_hits=140
+        )
+        assert report.guarantee_ratio == pytest.approx(0.75)
+        assert report.compliance_ratio == pytest.approx(0.70)
+
+    def test_zero_task_run_yields_zero_ratios(self):
+        report = make_report(total_tasks=0, guaranteed=0, deadline_hits=0)
+        assert report.guarantee_ratio == 0.0
+        assert report.compliance_ratio == 0.0
+
+    def test_render_prints_both_ratios(self):
+        text = make_report(
+            total_tasks=100, guaranteed=90, deadline_hits=88
+        ).render()
+        assert "guarantee ratio:  0.900" in text
+        assert "compliance ratio: 0.880" in text
+        assert "rtsads" in text
+
+    def test_render_surfaces_failures_and_reschedules(self):
+        text = make_report(workers_lost=1, reschedules=7).render()
+        assert "workers lost 1" in text
+        assert "reschedules 7" in text

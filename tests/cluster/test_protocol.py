@@ -1,0 +1,129 @@
+"""Wire-protocol unit tests: framing, versioning, round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import protocol
+from repro.cluster.protocol import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    pack,
+    unpack,
+)
+
+ALL_MESSAGES = [
+    protocol.hello(worker_id=3, pid=4242, host="127.0.0.1"),
+    protocol.welcome(worker_id=3, residency=[5, 1, 2]),
+    protocol.assign(
+        task_id=17,
+        worker_id=3,
+        total_cost=123.5,
+        communication_cost=80.0,
+        deadline=950.25,
+    ),
+    protocol.task_done(
+        task_id=17,
+        worker_id=3,
+        actual_cost=101.0,
+        estimated_cost=123.5,
+        exec_seconds=0.104,
+    ),
+    protocol.heartbeat(worker_id=3, queue_depth=2, tasks_done=9),
+    protocol.shutdown(reason="complete"),
+]
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize(
+        "message", ALL_MESSAGES, ids=lambda m: m["type"]
+    )
+    def test_round_trip_preserves_every_field(self, message):
+        recovered = unpack(pack(message)[HEADER.size:])
+        expected = dict(message)
+        expected["v"] = PROTOCOL_VERSION
+        assert recovered == expected
+
+    def test_pack_prefixes_exact_body_length(self):
+        frame = pack(protocol.shutdown())
+        (length,) = HEADER.unpack_from(frame)
+        assert length == len(frame) - HEADER.size
+
+    def test_pack_rejects_unknown_type(self):
+        with pytest.raises(ProtocolError):
+            pack({"type": "GOSSIP"})
+
+    def test_unpack_rejects_version_mismatch(self):
+        body = json.dumps(
+            {"type": protocol.HEARTBEAT, "v": PROTOCOL_VERSION + 1}
+        ).encode()
+        with pytest.raises(ProtocolError, match="version"):
+            unpack(body)
+
+    def test_unpack_rejects_missing_version(self):
+        body = json.dumps({"type": protocol.HEARTBEAT}).encode()
+        with pytest.raises(ProtocolError, match="version"):
+            unpack(body)
+
+    def test_unpack_rejects_unknown_type(self):
+        body = json.dumps({"type": "GOSSIP", "v": PROTOCOL_VERSION}).encode()
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            unpack(body)
+
+    def test_unpack_rejects_non_object_payload(self):
+        body = json.dumps([1, 2, 3]).encode()
+        with pytest.raises(ProtocolError):
+            unpack(body)
+
+    def test_unpack_rejects_garbage_bytes(self):
+        with pytest.raises(ProtocolError):
+            unpack(b"\xff\xfe not json")
+
+
+class TestFrameDecoder:
+    def test_single_frame(self):
+        decoder = FrameDecoder()
+        (message,) = decoder.feed(pack(protocol.shutdown()))
+        assert message["type"] == protocol.SHUTDOWN
+        assert decoder.pending_bytes == 0
+
+    def test_byte_by_byte_reassembly(self):
+        """TCP may deliver any fragmentation; one byte at a time is the
+        worst case and must still reassemble every message in order."""
+        stream = b"".join(pack(m) for m in ALL_MESSAGES)
+        decoder = FrameDecoder()
+        received = []
+        for i in range(len(stream)):
+            received.extend(decoder.feed(stream[i:i + 1]))
+        assert [m["type"] for m in received] == [
+            m["type"] for m in ALL_MESSAGES
+        ]
+        assert decoder.pending_bytes == 0
+
+    def test_many_frames_in_one_feed(self):
+        stream = b"".join(pack(m) for m in ALL_MESSAGES)
+        received = FrameDecoder().feed(stream)
+        assert len(received) == len(ALL_MESSAGES)
+
+    def test_partial_frame_stays_pending(self):
+        frame = pack(protocol.heartbeat(0, 0, 0))
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:-1]) == []
+        assert decoder.pending_bytes == len(frame) - 1
+        (message,) = decoder.feed(frame[-1:])
+        assert message["type"] == protocol.HEARTBEAT
+
+    def test_oversized_frame_is_rejected_not_buffered(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError, match="corrupt"):
+            decoder.feed(HEADER.pack(MAX_FRAME_BYTES + 1))
+
+    def test_pack_rejects_oversized_payload(self):
+        huge = protocol.hello(0, 0, "x" * (MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            pack(huge)

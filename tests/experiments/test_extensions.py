@@ -108,6 +108,89 @@ class TestFailures:
             extension_failures(TINY, failure_counts=(TINY.num_processors,))
 
 
+class TestFailureAccounting:
+    """Property-style checks of the fail-stop rescheduling bookkeeping.
+
+    A task surrendered by a crashing processor re-enters the batch and may
+    be rescheduled on a survivor; across every seed the accounting must
+    stay exact — one terminal state per task, no surrendered task counted
+    both as a deadline miss and as a kept guarantee.
+    """
+
+    @pytest.mark.parametrize("seed", [1, 7, 23, 101, 2024])
+    def test_no_double_counting_across_seeds(self, seed):
+        from repro.core import RTSADS, UniformCommunicationModel
+        from repro.experiments.extensions import _build_database_workload
+        from repro.simulator import (
+            STATUS_COMPLETED,
+            STATUS_EXPIRED,
+            STATUS_FAILED,
+            simulate,
+        )
+
+        _, tasks, _ = _build_database_workload(TINY, seed)
+        horizon = 10.0 * TINY.slack_factor * TINY.scan_cost
+        comm = UniformCommunicationModel(TINY.remote_cost)
+        result = simulate(
+            RTSADS(comm, per_vertex_cost=TINY.per_vertex_cost),
+            tasks,
+            num_workers=TINY.num_processors,
+            failures=[(horizon * 0.1, 0), (horizon * 0.2, 2)],
+        )
+        trace = result.trace
+
+        completed = trace.completed()
+        expired = trace.expired()
+        failed = trace.failed()
+
+        # Exactly one terminal state per task — a surrendered task ends up
+        # completed (rescheduled in time), expired, or failed, never two.
+        assert len(completed) + len(expired) + len(failed) == (
+            trace.total_tasks()
+        )
+        ids = (
+            [r.task_id for r in completed]
+            + [r.task_id for r in expired]
+            + [r.task_id for r in failed]
+        )
+        assert len(ids) == len(set(ids))
+        for record in trace.records.values():
+            assert record.status in (
+                STATUS_COMPLETED, STATUS_EXPIRED, STATUS_FAILED,
+            )
+
+        # Hits live strictly inside the completed set: a failed or expired
+        # task can never be counted as a kept guarantee.
+        hits = [r for r in trace.records.values() if r.met_deadline]
+        assert len(hits) <= len(completed)
+        assert trace.deadline_hits() == len(hits)
+        late = [r for r in completed if not r.met_deadline]
+        assert len(hits) + len(late) == len(completed)
+
+        # The theorem survives the crashes: anything RT-SADS scheduled and
+        # that actually ran to completion met its deadline.  (Tasks lost
+        # in flight are FAILED, not late.)
+        assert trace.scheduled_but_missed() == []
+
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_failed_tasks_only_come_from_crashed_processors(self, seed):
+        from repro.core import RTSADS, UniformCommunicationModel
+        from repro.experiments.extensions import _build_database_workload
+        from repro.simulator import simulate
+
+        _, tasks, _ = _build_database_workload(TINY, seed)
+        horizon = 10.0 * TINY.slack_factor * TINY.scan_cost
+        comm = UniformCommunicationModel(TINY.remote_cost)
+        result = simulate(
+            RTSADS(comm, per_vertex_cost=TINY.per_vertex_cost),
+            tasks,
+            num_workers=TINY.num_processors,
+            failures=[(horizon * 0.15, 1)],
+        )
+        for record in result.trace.failed():
+            assert record.processor == 1
+
+
 class TestCLIIntegration:
     @pytest.mark.parametrize(
         "name",
