@@ -7,7 +7,8 @@ rises toward the high end, D-COLS's stays far lower, and the gap grows with
 the processor count.
 """
 
-from conftest import bench_config
+from bench_search_micro import timing_samples
+from conftest import bench_config, record_metric
 
 from repro.experiments import figure5
 from repro.metrics import comparison_summary
@@ -33,6 +34,14 @@ def test_fig5_scalability_sweep(benchmark):
         f"({summary['final_advantage']:.1f} at m={PROCESSORS[-1]})"
     )
 
+    for (name, m), cell in sorted(result.cells.items()):
+        record_metric(
+            "fig5",
+            f"{name}_hit_percent_m{m}",
+            samples=cell.hit_percents,
+            unit="%",
+        )
+
     # Guard the paper's qualitative claims.
     rtsads = result.figure.series_by_label("RT-SADS").values
     dcols = result.figure.series_by_label("D-COLS").values
@@ -43,6 +52,16 @@ def test_fig5_scalability_sweep(benchmark):
     )
 
 
+def _record_cell_vertices(name: str, result) -> None:
+    """Per-phase search effort: vertices the quantum actually bought."""
+    record_metric(
+        "fig5",
+        f"{name}_vertices_per_quantum",
+        samples=[phase.vertices_generated for phase in result.phases],
+        unit="vertices",
+    )
+
+
 def test_fig5_single_cell_rtsads(benchmark):
     """Unit of work: one full simulation at m=10 (RT-SADS)."""
     from repro.experiments import run_once
@@ -50,6 +69,10 @@ def test_fig5_single_cell_rtsads(benchmark):
     config = bench_config(runs=1)
     result = benchmark(lambda: run_once(config, "rtsads", config.base_seed))
     assert result.trace.scheduled_but_missed() == []
+    record_metric(
+        "fig5", "rtsads_cell_seconds", samples=timing_samples(benchmark), unit="s"
+    )
+    _record_cell_vertices("rtsads", result)
 
 
 def test_fig5_single_cell_dcols(benchmark):
@@ -59,3 +82,7 @@ def test_fig5_single_cell_dcols(benchmark):
     config = bench_config(runs=1)
     result = benchmark(lambda: run_once(config, "dcols", config.base_seed))
     assert result.trace.scheduled_but_missed() == []
+    record_metric(
+        "fig5", "dcols_cell_seconds", samples=timing_samples(benchmark), unit="s"
+    )
+    _record_cell_vertices("dcols", result)

@@ -2,11 +2,19 @@
 
 Not a paper figure — these keep the engine honest: vertex expansion rates
 for both representations, candidate-list operations, quantum policy cost,
-and the discrete-event engine's dispatch rate.  Regressions here silently
-inflate every experiment above.
+the discrete-event engine's dispatch rate, and — the headline of the
+hot-path optimization work — the optimized expander's speedup over the
+frozen reference implementation in :mod:`repro.core.reference`.
+Regressions here silently inflate every experiment above.
+
+Headline numbers land in ``results/BENCH_search.json`` (see conftest).
 """
 
 import random
+import statistics
+import time
+
+from conftest import record_metric
 
 from repro.core import (
     AssignmentOrientedExpander,
@@ -22,7 +30,18 @@ from repro.core import (
     make_task,
     run_search,
 )
+from repro.core import reference
 from repro.simulator import SimulationEngine
+
+#: Acceptance bar for the hot-path optimization: vertices expanded per
+#: second of search, optimized vs frozen reference, same quantum.
+SPEEDUP_TARGET = 1.5
+
+
+def timing_samples(benchmark):
+    """Raw timing samples, or None under ``--benchmark-disable``."""
+    stats = getattr(benchmark, "stats", None)
+    return stats.stats.data if stats is not None else None
 
 
 def _tasks(n, m, seed=0):
@@ -64,6 +83,13 @@ def test_assignment_oriented_search_rate(benchmark):
 
     outcome = benchmark(search)
     assert outcome.best.depth > 0
+    record_metric(
+        "search",
+        "assignment_search_seconds",
+        samples=timing_samples(benchmark),
+        unit="s",
+        vertices_per_quantum=outcome.stats.vertices_generated,
+    )
 
 
 def test_sequence_oriented_search_rate(benchmark):
@@ -78,6 +104,89 @@ def test_sequence_oriented_search_rate(benchmark):
 
     outcome = benchmark(search)
     assert outcome.stats.vertices_generated > 0
+    record_metric(
+        "search",
+        "sequence_search_seconds",
+        samples=timing_samples(benchmark),
+        unit="s",
+        vertices_per_quantum=outcome.stats.vertices_generated,
+    )
+
+
+def _expansion_rates(run, ctx, expander_factory, budget_factory, repeats):
+    """Vertices generated per second of search, one sample per repeat."""
+    rates = []
+    for _ in range(repeats):
+        budget = budget_factory()
+        start = time.perf_counter()
+        outcome = run(ctx, expander_factory(), budget)
+        elapsed = time.perf_counter() - start
+        rates.append(outcome.stats.vertices_generated / elapsed)
+    return rates, outcome
+
+
+def _speedup_cell(m, repeats=15, n=200):
+    """Optimized vs reference expansion rate on one workload size."""
+    budget = lambda: VirtualTimeBudget(quantum=200.0, per_vertex_cost=0.01)
+    opt_rates, opt_out = _expansion_rates(
+        run_search,
+        _ctx(n=n, m=m),
+        AssignmentOrientedExpander,
+        budget,
+        repeats,
+    )
+    ref_ctx = PhaseContext(
+        tasks=sorted(_tasks(n, m), key=lambda t: (t.deadline, t.task_id)),
+        num_processors=m,
+        comm=UniformCommunicationModel(40.0),
+        phase_start=0.0,
+        quantum=200.0,
+        initial_offsets=(0.0,) * m,
+        evaluator=reference.ReferenceLoadBalancingEvaluator(),
+    )
+    ref_rates, ref_out = _expansion_rates(
+        reference.run_search,
+        ref_ctx,
+        reference.ReferenceAssignmentOrientedExpander,
+        budget,
+        repeats,
+    )
+    # Same quantum must buy the same tree — the speedup is pure overhead
+    # reduction, not a different search.
+    assert opt_out.stats.vertices_generated == ref_out.stats.vertices_generated
+    assert opt_out.best.depth == ref_out.best.depth
+    assert opt_out.best.scheduled_end == ref_out.best.scheduled_end
+    return opt_rates, ref_rates
+
+
+def test_optimized_vs_reference_speedup():
+    """The tentpole acceptance bar: >= 1.5x vertices expanded per unit of
+    wall clock against the frozen reference, on the assignment-oriented
+    (RT-SADS) representation the paper's scalability claim rests on."""
+    results = {}
+    for m in (8, 16):
+        opt_rates, ref_rates = _speedup_cell(m)
+        speedup = statistics.median(opt_rates) / statistics.median(ref_rates)
+        results[m] = speedup
+        record_metric(
+            "search",
+            f"optimized_rate_m{m}",
+            samples=opt_rates,
+            unit="vertices/s",
+        )
+        record_metric(
+            "search",
+            f"reference_rate_m{m}",
+            samples=ref_rates,
+            unit="vertices/s",
+        )
+        record_metric("search", f"speedup_vs_reference_m{m}", speedup=speedup)
+    best = max(results.values())
+    record_metric("search", "speedup_vs_reference_best", speedup=best)
+    assert best >= SPEEDUP_TARGET, (
+        f"hot-path speedup {best:.2f}x fell below the {SPEEDUP_TARGET}x bar "
+        f"(per-m: {', '.join(f'm={m}: {s:.2f}x' for m, s in results.items())})"
+    )
 
 
 def test_candidate_list_throughput(benchmark):

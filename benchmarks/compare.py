@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Print before/after deltas between two ``BENCH_*.json`` snapshots.
+
+Usage::
+
+    python benchmarks/compare.py results/BENCH_search.json /tmp/BENCH_search.json
+
+The first file is the *before* baseline, the second the *after* run.  For
+every metric present in both, each numeric field (mean/p50/p95, speedup,
+vertices_per_quantum, ...) is shown with its absolute and relative change;
+metrics present only on one side are listed so coverage drift is visible.
+
+Exits non-zero on malformed input, zero otherwise — the tool reports, it
+does not judge; thresholds live in the benchmarks themselves.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Numeric per-metric fields worth diffing, in display order.
+FIELDS = ("mean", "p50", "p95", "min", "max", "speedup", "vertices_per_quantum")
+
+
+def load(path: Path) -> dict:
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    if "metrics" not in document:
+        raise SystemExit(f"{path} is not a BENCH_*.json document (no 'metrics')")
+    return document
+
+
+def format_delta(before: float, after: float) -> str:
+    delta = after - before
+    if before:
+        return f"{before:,.4g} -> {after:,.4g}  ({delta:+,.4g}, {delta / before:+.1%})"
+    return f"{before:,.4g} -> {after:,.4g}  ({delta:+,.4g})"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("before", type=Path, help="baseline BENCH_*.json")
+    parser.add_argument("after", type=Path, help="new BENCH_*.json")
+    args = parser.parse_args(argv)
+
+    before_doc, after_doc = load(args.before), load(args.after)
+    before, after = before_doc["metrics"], after_doc["metrics"]
+    if before_doc.get("scale") != after_doc.get("scale"):
+        print(
+            f"warning: comparing scale={before_doc.get('scale')!r} against "
+            f"scale={after_doc.get('scale')!r} — deltas mix workload sizes"
+        )
+
+    shared = sorted(set(before) & set(after))
+    print(f"report: {after_doc.get('report', '?')}  ({len(shared)} shared metrics)")
+    for name in shared:
+        unit = after[name].get("unit") or before[name].get("unit") or ""
+        print(f"\n{name}" + (f"  [{unit}]" if unit else ""))
+        for field in FIELDS:
+            if field in before[name] and field in after[name]:
+                print(f"  {field:>8}: {format_delta(before[name][field], after[name][field])}")
+
+    for label, only in (
+        ("only in before", sorted(set(before) - set(after))),
+        ("only in after", sorted(set(after) - set(before))),
+    ):
+        if only:
+            print(f"\n{label}: {', '.join(only)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

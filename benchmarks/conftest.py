@@ -1,15 +1,29 @@
-"""Shared benchmark configuration.
+"""Shared benchmark configuration and machine-readable result emission.
 
 Figure benchmarks run the reduced `quick` scale by default so the whole
 suite finishes in minutes; set ``REPRO_BENCH_PAPER=1`` to run the full
 Section-5.1 scale (1000 transactions, 10 runs per cell — slow).
+
+Benchmarks record their headline numbers through :func:`record_metric`;
+at session end each report is written as ``results/BENCH_<report>.json``
+(e.g. ``BENCH_search.json``, ``BENCH_fig5.json``).  The files are plain
+JSON so ``benchmarks/compare.py`` can diff two snapshots.
 """
 
+import json
 import os
+import statistics
+from pathlib import Path
+from typing import Dict, Optional, Sequence
 
 import pytest
 
 from repro.experiments import ExperimentConfig
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: report name -> {metric name -> payload}; populated during the session.
+_REPORTS: Dict[str, Dict[str, dict]] = {}
 
 
 def bench_config(**overrides) -> ExperimentConfig:
@@ -23,3 +37,58 @@ def bench_config(**overrides) -> ExperimentConfig:
 @pytest.fixture(scope="session")
 def paper_scale() -> bool:
     return bool(os.environ.get("REPRO_BENCH_PAPER"))
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending-sorted sample."""
+    if not ordered:
+        raise ValueError("empty sample")
+    rank = max(1, -(-int(q * len(ordered) * 100) // 100))  # ceil without float
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def summarize(samples: Sequence[float]) -> dict:
+    """mean/p50/p95 summary of a numeric sample, as compare.py expects."""
+    ordered = sorted(float(s) for s in samples)
+    return {
+        "mean": statistics.fmean(ordered),
+        "p50": _percentile(ordered, 0.50),
+        "p95": _percentile(ordered, 0.95),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "samples": len(ordered),
+    }
+
+
+def record_metric(
+    report: str,
+    name: str,
+    samples: Optional[Sequence[float]] = None,
+    unit: str = "",
+    **extra,
+) -> None:
+    """Record one benchmark metric for ``results/BENCH_<report>.json``.
+
+    ``samples`` (if given) is summarized to mean/p50/p95; scalar facts go
+    in ``extra`` verbatim.  Re-recording a name overwrites it, so re-runs
+    of a benchmark converge on the last measurement.
+    """
+    payload: dict = {}
+    if samples is not None:
+        payload.update(summarize(samples))
+    if unit:
+        payload["unit"] = unit
+    payload.update(extra)
+    _REPORTS.setdefault(report, {})[name] = payload
+
+
+def pytest_sessionfinish(session, exitstatus):
+    for report, metrics in sorted(_REPORTS.items()):
+        document = {
+            "report": report,
+            "scale": "paper" if os.environ.get("REPRO_BENCH_PAPER") else "quick",
+            "metrics": metrics,
+        }
+        path = RESULTS_DIR / f"BENCH_{report}.json"
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {path}")

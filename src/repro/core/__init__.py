@@ -38,6 +38,7 @@ from .feasibility import (
     schedule_is_deadline_safe,
 )
 from .phase import MIN_PHASE_TIME, PhaseResult, run_phase
+from .reference import reference_dcols, reference_rtsads
 from .quantum import (
     FixedQuantum,
     LoadOnlyQuantum,
@@ -130,6 +131,8 @@ __all__ = [
     "phase_end_bound",
     "projected_offsets",
     "random_affinity",
+    "reference_dcols",
+    "reference_rtsads",
     "remaining_quantum",
     "run_phase",
     "run_search",

@@ -24,6 +24,18 @@ class CommunicationModel(ABC):
     def cost(self, task: Task, processor: int) -> float:
         """Communication delay incurred if ``task`` executes on ``processor``."""
 
+    def cost_row(self, task: Task, num_processors: int) -> tuple:
+        """``(cost(task, 0), ..., cost(task, m-1))`` in one call.
+
+        The search's per-phase communication cache
+        (:meth:`repro.core.search.PhaseContext.comm_row`) fills rows through
+        this hook so models can produce a whole row cheaper than ``m``
+        virtual-dispatch calls.  Overrides must return exactly the values
+        :meth:`cost` would.
+        """
+        cost = self.cost
+        return tuple(cost(task, k) for k in range(num_processors))
+
     def execution_cost(self, task: Task, processor: int) -> float:
         """Total cost ``p_i + c_ij`` of running ``task`` on ``processor``."""
         return task.processing_time + self.cost(task, processor)
@@ -44,6 +56,13 @@ class UniformCommunicationModel(CommunicationModel):
     def cost(self, task: Task, processor: int) -> float:
         return 0.0 if task.has_affinity(processor) else self.remote_cost
 
+    def cost_row(self, task: Task, num_processors: int) -> tuple:
+        affinity = task.affinity
+        remote = self.remote_cost
+        return tuple(
+            0.0 if k in affinity else remote for k in range(num_processors)
+        )
+
     def __repr__(self) -> str:
         return f"UniformCommunicationModel(C={self.remote_cost})"
 
@@ -56,6 +75,9 @@ class ZeroCommunicationModel(CommunicationModel):
 
     def cost(self, task: Task, processor: int) -> float:
         return 0.0
+
+    def cost_row(self, task: Task, num_processors: int) -> tuple:
+        return (0.0,) * num_processors
 
     def __repr__(self) -> str:
         return "ZeroCommunicationModel()"

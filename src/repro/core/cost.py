@@ -35,18 +35,22 @@ class VertexEvaluator(ABC):
 class LoadBalancingEvaluator(VertexEvaluator):
     """The paper's cost function ``CE_i = max_k ce_k`` (Section 4.4).
 
-    ``vertex.proc_offsets`` already contains, for each processor, the
-    projected initial load plus the cost of every assignment on the partial
-    path, so ``CE_i`` is simply its maximum.  The scheduled end of the new
-    assignment breaks ties so that, among equally balanced extensions, the
-    one finishing the new task earliest is preferred.
+    ``vertex.proc_offsets`` contains, for each processor, the projected
+    initial load plus the cost of every assignment on the partial path, so
+    ``CE_i`` is its maximum — read from ``vertex.max_offset``, which
+    :func:`repro.core.search.make_child` maintains incrementally (an
+    assignment raises exactly one offset, so the child's maximum is
+    ``max(parent max, new offset)``) instead of rescanning all ``m`` offsets
+    per candidate.  The scheduled end of the new assignment breaks ties so
+    that, among equally balanced extensions, the one finishing the new task
+    earliest is preferred.
     """
 
     #: Weight of the tie-breaking term; small enough never to override CE.
     TIE_WEIGHT = 1e-6
 
     def evaluate(self, ctx: "PhaseContext", vertex: "Vertex") -> float:
-        return max(vertex.proc_offsets) + self.TIE_WEIGHT * vertex.scheduled_end
+        return vertex.max_offset + self.TIE_WEIGHT * vertex.scheduled_end
 
 
 class EarliestFinishEvaluator(VertexEvaluator):

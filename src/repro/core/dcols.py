@@ -52,6 +52,7 @@ class DCOLS(SearchScheduler):
         rotate_start: bool = False,
         max_candidates: Optional[int] = 100_000,
         instrumentation: Optional["Instrumentation"] = None,
+        phase_runner=None,
     ) -> None:
         def factory(phase_index: int) -> SequenceOrientedExpander:
             start = phase_index if rotate_start else 0
@@ -68,6 +69,7 @@ class DCOLS(SearchScheduler):
             max_candidates=max_candidates,
             name="D-COLS",
             instrumentation=instrumentation,
+            phase_runner=phase_runner,
         )
         self.beam_width = beam_width
         self.rotate_start = rotate_start

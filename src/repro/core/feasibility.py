@@ -50,7 +50,13 @@ def is_feasible_assignment(
 def is_feasible_against_bound(
     task: Task, scheduled_end: float, bound: float
 ) -> bool:
-    """Equivalent constant-bound form used in the search hot loop."""
+    """Equivalent constant-bound form used in the search hot loop.
+
+    The optimized expanders in :mod:`repro.core.representations` inline this
+    exact comparison (same operand order, same ``EPSILON``) so their verdicts
+    stay bit-identical to the frozen reference; keep the expression in sync
+    if it ever changes — the differential harness will catch a drift.
+    """
     return bound + scheduled_end <= task.deadline + EPSILON
 
 

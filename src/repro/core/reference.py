@@ -1,0 +1,370 @@
+"""Frozen reference implementation of the search hot path.
+
+This module is a verbatim retention of the evaluator, candidate-list,
+expander, and search-loop logic *before* the hot-path optimizations landed
+in :mod:`repro.core.search`, :mod:`repro.core.cost`, and
+:mod:`repro.core.representations`:
+
+* :class:`ReferenceCandidateList` — the flat pre-sorted stack the CL used
+  to be (blocks are sorted eagerly; ``push_block`` expects sorted input).
+* :class:`ReferenceLoadBalancingEvaluator` — recomputes
+  ``CE_i = max_k ce_k`` with a full ``max(vertex.proc_offsets)`` scan per
+  candidate instead of reading the incrementally maintained
+  ``vertex.max_offset``.
+* :class:`ReferenceAssignmentOrientedExpander` /
+  :class:`ReferenceSequenceOrientedExpander` — per-candidate virtual
+  dispatch into the communication model (no per-phase ``c_lk`` row cache),
+  the full Figure-4 test on every candidate (no best-case pruning), and an
+  eager sort of every successor block.
+* :func:`run_search` / :func:`run_phase` — the same drivers, wired to the
+  reference CL.
+
+**Do not optimize this module.**  Its purpose is to stay slow and obviously
+correct: the differential harness under ``tests/differential/`` runs both
+implementations over a seeded workload matrix and asserts bit-identical
+schedules, guarantee sets, and vertex-expansion traces.  The shared pieces
+(:class:`repro.core.search.Vertex`, :func:`repro.core.search.make_child`,
+:class:`repro.core.search.PhaseContext`, the budgets) are deliberately *not*
+duplicated — they carry state both sides must agree on, and the budget
+boundary fix is pinned by its own unit tests rather than by freezing the
+old off-by-one behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .affinity import CommunicationModel
+from .cost import VertexEvaluator
+from .feasibility import projected_offsets
+from .phase import MIN_PHASE_TIME, PhaseResult
+from .quantum import QuantumPolicy
+from .scheduler import DEFAULT_PER_VERTEX_COST, SearchScheduler
+from .search import (
+    Expander,
+    Expansion,
+    PhaseContext,
+    SearchBudget,
+    SearchOutcome,
+    SearchStats,
+    Vertex,
+    VirtualTimeBudget,
+    make_child,
+    make_root,
+)
+from .task import Task
+
+
+class ReferenceLoadBalancingEvaluator(VertexEvaluator):
+    """The original ``CE`` evaluator: full ``max`` scan per candidate."""
+
+    TIE_WEIGHT = 1e-6
+
+    def evaluate(self, ctx: "PhaseContext", vertex: "Vertex") -> float:
+        return max(vertex.proc_offsets) + self.TIE_WEIGHT * vertex.scheduled_end
+
+
+class ReferenceEarliestFinishEvaluator(VertexEvaluator):
+    """The original minimum-completion-time evaluator."""
+
+    def evaluate(self, ctx: "PhaseContext", vertex: "Vertex") -> float:
+        return vertex.scheduled_end
+
+
+class ReferenceCandidateList:
+    """The original CL: a flat depth-first stack of pre-sorted blocks."""
+
+    def __init__(self, max_size: Optional[int] = None) -> None:
+        if max_size is not None and max_size <= 0:
+            raise ValueError("max_size must be positive when given")
+        self._stack: List[Vertex] = []
+        self.max_size = max_size
+        self.dropped = 0
+
+    def push_block(self, block: Iterable[Vertex]) -> None:
+        ordered = list(block)
+        # Best candidate must pop first, so append the block reversed.
+        self._stack.extend(reversed(ordered))
+        if self.max_size is not None and len(self._stack) > self.max_size:
+            overflow = len(self._stack) - self.max_size
+            del self._stack[:overflow]
+            self.dropped += overflow
+
+    def pop(self) -> Optional[Vertex]:
+        if not self._stack:
+            return None
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def __bool__(self) -> bool:
+        return bool(self._stack)
+
+
+def _unscheduled_indices(vertex: Vertex, n: int):
+    mask = vertex.scheduled_mask
+    for index in range(n):
+        if not (mask >> index) & 1:
+            yield index
+
+
+class ReferenceAssignmentOrientedExpander(Expander):
+    """The original RT-SADS expander: no row cache, no best-case prune."""
+
+    def __init__(self, max_task_probes: Optional[int] = None) -> None:
+        if max_task_probes is not None and max_task_probes <= 0:
+            raise ValueError("max_task_probes must be positive when given")
+        self.max_task_probes = max_task_probes
+
+    def successors(
+        self,
+        vertex: Vertex,
+        ctx: PhaseContext,
+        budget: SearchBudget,
+        stats: SearchStats,
+    ) -> Expansion:
+        probes = 0
+        hopeless_mask = 0
+        truncated = False
+        comm_cost = ctx.comm.cost
+        evaluate = ctx.evaluator.evaluate
+        for index in _unscheduled_indices(vertex, ctx.n):
+            if self.max_task_probes is not None and probes >= self.max_task_probes:
+                truncated = True
+                break
+            if probes and budget.exhausted():
+                truncated = True
+                break
+            probes += 1
+            stats.task_probes += 1
+            task = ctx.tasks[index]
+            candidates: List[Vertex] = []
+            budget.charge(ctx.num_processors)
+            stats.vertices_generated += ctx.num_processors
+            for processor in range(ctx.num_processors):
+                comm = comm_cost(task, processor)
+                total = task.processing_time + comm
+                scheduled_end = vertex.proc_offsets[processor] + total
+                if ctx.is_feasible(task, scheduled_end):
+                    child = make_child(vertex, index, processor, total, comm)
+                    child.value = evaluate(ctx, child)
+                    candidates.append(child)
+            stats.feasibility_rejections += ctx.num_processors - len(candidates)
+            if candidates:
+                if hopeless_mask:
+                    for child in candidates:
+                        child.scheduled_mask |= hopeless_mask
+                candidates.sort(key=lambda v: v.value)
+                return Expansion(successors=candidates)
+            hopeless_mask |= 1 << index
+            stats.tasks_pruned += 1
+        return Expansion(successors=[], exhaustive=not truncated)
+
+
+class ReferenceSequenceOrientedExpander(Expander):
+    """The original D-COLS expander: per-candidate dispatch, eager sort."""
+
+    def __init__(
+        self,
+        beam_width: Optional[int] = None,
+        start_processor: int = 0,
+    ) -> None:
+        if beam_width is not None and beam_width <= 0:
+            raise ValueError("beam_width must be positive when given")
+        if start_processor < 0:
+            raise ValueError("start_processor must be non-negative")
+        self.beam_width = beam_width
+        self.start_processor = start_processor
+
+    def processor_at(self, depth: int, num_processors: int) -> int:
+        return (self.start_processor + depth) % num_processors
+
+    def successors(
+        self,
+        vertex: Vertex,
+        ctx: PhaseContext,
+        budget: SearchBudget,
+        stats: SearchStats,
+    ) -> Expansion:
+        processor = self.processor_at(vertex.depth, ctx.num_processors)
+        beam = self.beam_width if self.beam_width is not None else ctx.num_processors
+        comm_cost = ctx.comm.cost
+        evaluate = ctx.evaluator.evaluate
+        candidates: List[Vertex] = []
+        probed = 0
+        for index in _unscheduled_indices(vertex, ctx.n):
+            if probed >= beam:
+                break
+            probed += 1
+            task = ctx.tasks[index]
+            comm = comm_cost(task, processor)
+            total = task.processing_time + comm
+            scheduled_end = vertex.proc_offsets[processor] + total
+            if ctx.is_feasible(task, scheduled_end):
+                child = make_child(vertex, index, processor, total, comm)
+                child.value = evaluate(ctx, child)
+                candidates.append(child)
+        budget.charge(probed)
+        stats.vertices_generated += probed
+        stats.task_probes += 1 if probed else 0
+        stats.feasibility_rejections += probed - len(candidates)
+        candidates.sort(key=lambda v: v.value)
+        return Expansion(successors=candidates, exhaustive=False)
+
+
+def run_search(
+    ctx: PhaseContext,
+    expander: Expander,
+    budget: SearchBudget,
+    max_candidates: Optional[int] = None,
+    max_iterations: Optional[int] = None,
+) -> SearchOutcome:
+    """The original depth-first driver over the reference CL."""
+    root = make_root(ctx.initial_offsets)
+    cl = ReferenceCandidateList(max_size=max_candidates)
+    cl.push_block([root])
+    best = root
+    stats = SearchStats()
+    iterations = 0
+    while not budget.exhausted():
+        if max_iterations is not None and iterations >= max_iterations:
+            break
+        iterations += 1
+        vertex = cl.pop()
+        if vertex is None:
+            stats.dead_end = True
+            break
+        if vertex.depth >= ctx.n:
+            best = vertex
+            stats.complete = True
+            break
+        expansion = expander.successors(vertex, ctx, budget, stats)
+        stats.expansions += 1
+        if not expansion.successors:
+            if expansion.exhaustive:
+                if _is_better(vertex, best):
+                    best = vertex
+                stats.maximal = True
+                break
+            stats.backtracks += 1
+            continue
+        for succ in expansion.successors:
+            if _is_better(succ, best):
+                best = succ
+        cl.push_block(expansion.successors)
+    stats.max_depth = best.depth
+    stats.processors_touched = len({v.processor for v in best.path()})
+    return SearchOutcome(
+        best=best,
+        stats=stats,
+        time_used=min(budget.used(), ctx.quantum),
+        candidates_dropped=cl.dropped,
+    )
+
+
+def _is_better(candidate: Vertex, incumbent: Vertex) -> bool:
+    if candidate.depth != incumbent.depth:
+        return candidate.depth > incumbent.depth
+    return candidate.value < incumbent.value
+
+
+def run_phase(
+    tasks: Sequence[Task],
+    loads: Sequence[float],
+    now: float,
+    quantum: float,
+    comm: CommunicationModel,
+    expander: Expander,
+    evaluator: VertexEvaluator,
+    budget: Optional[SearchBudget] = None,
+    per_vertex_cost: float = 0.1,
+    max_candidates: Optional[int] = None,
+) -> PhaseResult:
+    """The original phase loop, wired to the reference search driver."""
+    ordered = sorted(tasks, key=lambda t: (t.deadline, t.task_id))
+    bound = now + quantum
+    admitted = [
+        t for t in ordered if bound + t.processing_time <= t.deadline + 1e-9
+    ]
+    prefilter_rejected = len(ordered) - len(admitted)
+    ordered = admitted
+    offsets = projected_offsets(loads, quantum)
+    ctx = PhaseContext(
+        tasks=ordered,
+        num_processors=len(loads),
+        comm=comm,
+        phase_start=now,
+        quantum=quantum,
+        initial_offsets=offsets,
+        evaluator=evaluator,
+    )
+    if budget is None:
+        budget = VirtualTimeBudget(quantum=quantum, per_vertex_cost=per_vertex_cost)
+    outcome = run_search(ctx, expander, budget, max_candidates=max_candidates)
+    outcome.stats.prefilter_rejected = prefilter_rejected
+    time_used = min(max(outcome.time_used, MIN_PHASE_TIME), quantum)
+    return PhaseResult(
+        schedule=outcome.extract_schedule(ctx),
+        time_used=time_used,
+        quantum=quantum,
+        phase_start=now,
+        stats=outcome.stats,
+        initial_offsets=offsets,
+    )
+
+
+def reference_rtsads(
+    comm: CommunicationModel,
+    evaluator: Optional[VertexEvaluator] = None,
+    quantum_policy: Optional[QuantumPolicy] = None,
+    per_vertex_cost: float = DEFAULT_PER_VERTEX_COST,
+    max_task_probes: Optional[int] = None,
+    max_candidates: Optional[int] = 100_000,
+) -> SearchScheduler:
+    """RT-SADS assembled entirely from the frozen reference pieces.
+
+    Same configuration as :class:`repro.core.rtsads.RTSADS` but running the
+    reference expander, evaluator, CL, and phase loop.  ``name`` is kept as
+    ``"RT-SADS"`` so traces and metrics labels are directly comparable.
+    """
+    expander = ReferenceAssignmentOrientedExpander(max_task_probes=max_task_probes)
+    return SearchScheduler(
+        comm=comm,
+        expander_factory=lambda phase_index: expander,
+        evaluator=evaluator or ReferenceLoadBalancingEvaluator(),
+        quantum_policy=quantum_policy,
+        per_vertex_cost=per_vertex_cost,
+        max_candidates=max_candidates,
+        name="RT-SADS",
+        phase_runner=run_phase,
+    )
+
+
+def reference_dcols(
+    comm: CommunicationModel,
+    evaluator: Optional[VertexEvaluator] = None,
+    quantum_policy: Optional[QuantumPolicy] = None,
+    per_vertex_cost: float = DEFAULT_PER_VERTEX_COST,
+    beam_width: Optional[int] = None,
+    rotate_start: bool = False,
+    max_candidates: Optional[int] = 100_000,
+) -> SearchScheduler:
+    """D-COLS assembled entirely from the frozen reference pieces."""
+
+    def factory(phase_index: int) -> ReferenceSequenceOrientedExpander:
+        start = phase_index if rotate_start else 0
+        return ReferenceSequenceOrientedExpander(
+            beam_width=beam_width, start_processor=start
+        )
+
+    return SearchScheduler(
+        comm=comm,
+        expander_factory=factory,
+        evaluator=evaluator or ReferenceLoadBalancingEvaluator(),
+        quantum_policy=quantum_policy,
+        per_vertex_cost=per_vertex_cost,
+        max_candidates=max_candidates,
+        name="D-COLS",
+        phase_runner=run_phase,
+    )

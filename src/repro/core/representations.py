@@ -14,12 +14,22 @@
 Both expanders charge the search budget for every candidate they generate
 (feasible or not), keeping the comparison honest: the two algorithms receive
 identical quanta and pay identical per-vertex costs.
+
+The expansion loops here are the scheduler's hot path — they bound how many
+vertices a quantum can explore, and therefore how much schedule the paper's
+algorithms deliver per phase.  They are written against the frozen reference
+in :mod:`repro.core.reference` and must stay *schedule-identical* to it: the
+per-phase communication-row cache, the best-case feasibility prune, and the
+hoisted feasibility comparison change how fast candidates are produced, never
+which candidates are produced, charged, or counted.  The differential harness
+under ``tests/differential/`` enforces this.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
+from .feasibility import EPSILON
 from .search import (
     Expander,
     Expansion,
@@ -27,7 +37,6 @@ from .search import (
     SearchBudget,
     SearchStats,
     Vertex,
-    make_child,
 )
 
 
@@ -71,10 +80,18 @@ class AssignmentOrientedExpander(Expander):
         probes = 0
         hopeless_mask = 0
         truncated = False
-        comm_cost = ctx.comm.cost
+        max_task_probes = self.max_task_probes
+        m = ctx.num_processors
+        bound = ctx.phase_end_bound
+        tasks = ctx.tasks
+        comm_row = ctx.comm_row
         evaluate = ctx.evaluator.evaluate
+        offsets = vertex.proc_offsets
+        min_offset = min(offsets)
+        child_depth = vertex.depth + 1
+        parent_max = vertex.max_offset
         for index in _unscheduled_indices(vertex, ctx.n):
-            if self.max_task_probes is not None and probes >= self.max_task_probes:
+            if max_task_probes is not None and probes >= max_task_probes:
                 truncated = True
                 break
             if probes and budget.exhausted():
@@ -82,19 +99,49 @@ class AssignmentOrientedExpander(Expander):
                 break
             probes += 1
             stats.task_probes += 1
-            task = ctx.tasks[index]
+            task = tasks[index]
+            budget.charge(m)
+            stats.vertices_generated += m
+            row, min_comm = comm_row(index)
+            processing = task.processing_time
+            deadline_eps = task.deadline + EPSILON
+            # Best-case prune: with non-negative communication and monotone
+            # offsets, no scheduled end can beat the cheapest row entry on
+            # the least-loaded processor.  If even that violates Figure 4's
+            # ``t_c + RQ_s(j) + se_lk <= d_l``, every candidate of this probe
+            # is rejected without running the per-processor loop; the probe
+            # is still charged and counted exactly as the full loop would.
+            if bound + (min_offset + (processing + min_comm)) > deadline_eps:
+                stats.feasibility_rejections += m
+                hopeless_mask |= 1 << index
+                stats.tasks_pruned += 1
+                continue
             candidates: List[Vertex] = []
-            budget.charge(ctx.num_processors)
-            stats.vertices_generated += ctx.num_processors
-            for processor in range(ctx.num_processors):
-                comm = comm_cost(task, processor)
-                total = task.processing_time + comm
-                scheduled_end = vertex.proc_offsets[processor] + total
-                if ctx.is_feasible(task, scheduled_end):
-                    child = make_child(vertex, index, processor, total, comm)
+            child_mask = vertex.scheduled_mask | (1 << index)
+            for processor in range(m):
+                total = processing + row[processor]
+                scheduled_end = offsets[processor] + total
+                if bound + scheduled_end <= deadline_eps:
+                    # Inline make_child: the feasibility test already
+                    # computed the scheduled end, and the offset tuple is
+                    # lazy, so a candidate costs one Vertex allocation.
+                    child = Vertex(
+                        vertex,
+                        index,
+                        processor,
+                        child_depth,
+                        child_mask,
+                        None,
+                        scheduled_end,
+                        row[processor],
+                        0.0,
+                        parent_max
+                        if parent_max >= scheduled_end
+                        else scheduled_end,
+                    )
                     child.value = evaluate(ctx, child)
                     candidates.append(child)
-            stats.feasibility_rejections += ctx.num_processors - len(candidates)
+            stats.feasibility_rejections += m - len(candidates)
             if candidates:
                 if hopeless_mask:
                     # Infeasible-everywhere tasks stay infeasible below this
@@ -103,7 +150,6 @@ class AssignmentOrientedExpander(Expander):
                     # next batch.
                     for child in candidates:
                         child.scheduled_mask |= hopeless_mask
-                candidates.sort(key=lambda v: v.value)
                 return Expansion(successors=candidates)
             hopeless_mask |= 1 << index
             stats.tasks_pruned += 1
@@ -149,27 +195,43 @@ class SequenceOrientedExpander(Expander):
     ) -> Expansion:
         processor = self.processor_at(vertex.depth, ctx.num_processors)
         beam = self.beam_width if self.beam_width is not None else ctx.num_processors
-        comm_cost = ctx.comm.cost
+        tasks = ctx.tasks
+        comm_row = ctx.comm_row
         evaluate = ctx.evaluator.evaluate
+        bound = ctx.phase_end_bound
+        offset = vertex.proc_offsets[processor]
+        child_depth = vertex.depth + 1
+        parent_mask = vertex.scheduled_mask
+        parent_max = vertex.max_offset
         candidates: List[Vertex] = []
         probed = 0
         for index in _unscheduled_indices(vertex, ctx.n):
             if probed >= beam:
                 break
             probed += 1
-            task = ctx.tasks[index]
-            comm = comm_cost(task, processor)
+            task = tasks[index]
+            comm = comm_row(index)[0][processor]
             total = task.processing_time + comm
-            scheduled_end = vertex.proc_offsets[processor] + total
-            if ctx.is_feasible(task, scheduled_end):
-                child = make_child(vertex, index, processor, total, comm)
+            scheduled_end = offset + total
+            if bound + scheduled_end <= task.deadline + EPSILON:
+                child = Vertex(
+                    vertex,
+                    index,
+                    processor,
+                    child_depth,
+                    parent_mask | (1 << index),
+                    None,
+                    scheduled_end,
+                    comm,
+                    0.0,
+                    parent_max if parent_max >= scheduled_end else scheduled_end,
+                )
                 child.value = evaluate(ctx, child)
                 candidates.append(child)
         budget.charge(probed)
         stats.vertices_generated += probed
         stats.task_probes += 1 if probed else 0
         stats.feasibility_rejections += probed - len(candidates)
-        candidates.sort(key=lambda v: v.value)
         # A failed level only proves infeasibility on *this* processor, so a
         # sequence-oriented expansion is never exhaustive: the representation
         # cannot certify a maximal schedule and must backtrack instead.

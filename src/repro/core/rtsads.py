@@ -40,6 +40,10 @@ class RTSADS(SearchScheduler):
     max_task_probes:
         How many EDF-ordered tasks a level may probe before giving up when
         the front tasks have no feasible processor; ``None`` probes all.
+    phase_runner:
+        Alternative phase loop; the differential harness passes the frozen
+        :func:`repro.core.reference.run_phase` here to pin the optimized
+        hot path against the reference implementation.
     """
 
     def __init__(
@@ -51,6 +55,7 @@ class RTSADS(SearchScheduler):
         max_task_probes: Optional[int] = None,
         max_candidates: Optional[int] = 100_000,
         instrumentation: Optional["Instrumentation"] = None,
+        phase_runner=None,
     ) -> None:
         expander = AssignmentOrientedExpander(max_task_probes=max_task_probes)
         super().__init__(
@@ -63,4 +68,5 @@ class RTSADS(SearchScheduler):
             max_candidates=max_candidates,
             name="RT-SADS",
             instrumentation=instrumentation,
+            phase_runner=phase_runner,
         )

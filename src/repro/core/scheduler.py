@@ -153,6 +153,7 @@ class SearchScheduler(Scheduler):
         phase_overhead_factor: float = DEFAULT_PHASE_OVERHEAD_FACTOR,
         name: str = "search-scheduler",
         instrumentation: Optional[Instrumentation] = None,
+        phase_runner=None,
     ) -> None:
         if per_vertex_cost <= 0:
             raise ValueError("per_vertex_cost must be positive")
@@ -172,6 +173,10 @@ class SearchScheduler(Scheduler):
         # None means "use the process default at phase time", so switching
         # the global instrumentation on affects already-built schedulers.
         self.instrumentation = instrumentation
+        # The differential harness swaps in the frozen reference phase loop
+        # (repro.core.reference.run_phase) here; production schedulers keep
+        # the optimized default.
+        self._phase_runner = phase_runner if phase_runner is not None else run_phase
         self.phase_index = 0
 
     def plan_quantum(
@@ -213,7 +218,7 @@ class SearchScheduler(Scheduler):
         budget.consume(overhead)
         obs = self.instrumentation or get_instrumentation()
         if not obs.enabled:
-            result = run_phase(
+            result = self._phase_runner(
                 tasks=batch,
                 loads=loads,
                 now=now,
@@ -228,7 +233,7 @@ class SearchScheduler(Scheduler):
             self.phase_index += 1
             return result
         with obs.span("phase", scheduler=self.name, phase=self.phase_index) as span:
-            result = run_phase(
+            result = self._phase_runner(
                 tasks=batch,
                 loads=loads,
                 now=now,

@@ -22,8 +22,10 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
+from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+from heapq import heapify, heappop
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 from .affinity import CommunicationModel
 from .feasibility import EPSILON, is_feasible_against_bound
@@ -42,6 +44,14 @@ class Vertex:
     schedule (paper Section 3).  State is persistent: ``proc_offsets`` and
     ``scheduled_mask`` are immutable snapshots, so backtracking to any vertex
     in the CL needs no undo work.
+
+    ``proc_offsets`` is materialized lazily: a candidate only differs from
+    its parent in one slot, and most generated candidates are never expanded
+    (they wait in the CL, are backtracked past, or dropped), so building the
+    full per-processor tuple at generation time is the single largest cost
+    of the search inner loop.  Anything a candidate *is* asked for before
+    expansion — its evaluator value via ``max_offset``/``scheduled_end``,
+    its feasibility, its schedule path — is available without the tuple.
     """
 
     __slots__ = (
@@ -50,10 +60,11 @@ class Vertex:
         "processor",
         "depth",
         "scheduled_mask",
-        "proc_offsets",
+        "_proc_offsets",
         "scheduled_end",
         "communication_cost",
         "value",
+        "max_offset",
     )
 
     def __init__(
@@ -63,20 +74,54 @@ class Vertex:
         processor: int,
         depth: int,
         scheduled_mask: int,
-        proc_offsets: tuple,
+        proc_offsets: Optional[tuple],
         scheduled_end: float,
         communication_cost: float,
         value: float = 0.0,
+        max_offset: Optional[float] = None,
     ) -> None:
         self.parent = parent
         self.batch_index = batch_index
         self.processor = processor
         self.depth = depth
         self.scheduled_mask = scheduled_mask
-        self.proc_offsets = proc_offsets
+        self._proc_offsets = proc_offsets
         self.scheduled_end = scheduled_end
         self.communication_cost = communication_cost
         self.value = value
+        # ``max(proc_offsets)`` maintained incrementally: extending a path
+        # only ever raises one processor's offset, so the child's maximum is
+        # max(parent max, new offset) — the O(1) form of the paper's
+        # ``CE_i = max_k ce_k`` that the load-balancing evaluator reads.
+        if max_offset is None:
+            if proc_offsets is None:
+                raise ValueError(
+                    "a vertex needs either explicit proc_offsets or an "
+                    "explicit max_offset"
+                )
+            max_offset = max(proc_offsets) if proc_offsets else 0.0
+        self.max_offset = max_offset
+
+    @property
+    def proc_offsets(self) -> tuple:
+        """Per-processor completion offsets, built on first use.
+
+        Expansion always materializes the parent first (the expander reads
+        ``vertex.proc_offsets`` before generating children), so the implicit
+        recursion through ``parent.proc_offsets`` is at most one level deep
+        in practice.
+        """
+        offsets = self._proc_offsets
+        if offsets is None:
+            parent_offsets = self.parent.proc_offsets
+            processor = self.processor
+            offsets = (
+                parent_offsets[:processor]
+                + (self.scheduled_end,)
+                + parent_offsets[processor + 1 :]
+            )
+            self._proc_offsets = offsets
+        return offsets
 
     def is_root(self) -> bool:
         return self.parent is None
@@ -121,19 +166,26 @@ def make_child(
     total_cost: float,
     communication_cost: float,
 ) -> Vertex:
-    """Extend ``parent`` by one assignment, producing the successor vertex."""
-    offsets = list(parent.proc_offsets)
-    scheduled_end = offsets[processor] + total_cost
-    offsets[processor] = scheduled_end
+    """Extend ``parent`` by one assignment, producing the successor vertex.
+
+    The child's offset tuple is *not* built here — see
+    :attr:`Vertex.proc_offsets` — only the two scalars every candidate is
+    actually asked for: its own scheduled end and the incrementally
+    maintained maximum offset.
+    """
+    scheduled_end = parent.proc_offsets[processor] + total_cost
+    parent_max = parent.max_offset
     return Vertex(
-        parent=parent,
-        batch_index=batch_index,
-        processor=processor,
-        depth=parent.depth + 1,
-        scheduled_mask=parent.scheduled_mask | (1 << batch_index),
-        proc_offsets=tuple(offsets),
-        scheduled_end=scheduled_end,
-        communication_cost=communication_cost,
+        parent,
+        batch_index,
+        processor,
+        parent.depth + 1,
+        parent.scheduled_mask | (1 << batch_index),
+        None,
+        scheduled_end,
+        communication_cost,
+        0.0,
+        parent_max if parent_max >= scheduled_end else scheduled_end,
     )
 
 
@@ -150,6 +202,7 @@ class PhaseContext:
         "initial_offsets",
         "evaluator",
         "n",
+        "_comm_rows",
     )
 
     def __init__(
@@ -180,6 +233,24 @@ class PhaseContext:
         self.initial_offsets = tuple(initial_offsets)
         self.evaluator = evaluator
         self.n = len(self.tasks)
+        # Lazily filled cache of per-task communication-cost rows: the costs
+        # ``c_lk`` depend only on (task, processor), never on the partial
+        # schedule, so one row per task serves every expansion of the phase.
+        self._comm_rows: List[Optional[Tuple[tuple, float]]] = [None] * self.n
+
+    def comm_row(self, index: int) -> Tuple[tuple, float]:
+        """``(c_lk for every k, min_k c_lk)`` for ``tasks[index]``, cached.
+
+        The row is computed with the phase's communication model on first
+        use and reused for the rest of the phase; the attached minimum feeds
+        the expander's best-case feasibility pruning.
+        """
+        cached = self._comm_rows[index]
+        if cached is None:
+            row = self.comm.cost_row(self.tasks[index], self.num_processors)
+            cached = (row, min(row))
+            self._comm_rows[index] = cached
+        return cached
 
     def is_feasible(self, task: Task, scheduled_end: float) -> bool:
         """Figure-4 test in constant-bound form (see feasibility module)."""
@@ -227,42 +298,84 @@ class SearchStats:
 
 
 class CandidateList:
-    """The candidate list CL: a depth-first stack of sorted sibling blocks.
+    """The candidate list CL: a depth-first stack of heap-indexed blocks.
 
-    ``push_block`` receives a block of feasible successors sorted best-first
-    and places it on top so the best candidate is expanded next; ``pop``
-    removes the top candidate.  Popping from an empty CL is the paper's
+    ``push_block`` receives a block of feasible sibling successors (with
+    their evaluator values already assigned) and places it on top so the
+    best candidate is expanded next; ``pop`` removes the best remaining
+    candidate of the top block.  Popping from an empty CL is the paper's
     *dead-end*.  An optional size bound drops the oldest (shallowest)
     candidates, modelling the bounded scheduling memory of a real host
     processor.
+
+    Each block is a lazily consumed binary heap keyed by ``(value, seq)``
+    where ``seq`` is a monotone insertion counter, so the pop order is
+    exactly the stable best-first order a pre-sorted block would give
+    (ties resolve in generation order) while a block that is buried,
+    backtracked past, or dropped never pays for a full sort.
     """
 
     def __init__(self, max_size: Optional[int] = None) -> None:
         if max_size is not None and max_size <= 0:
             raise ValueError("max_size must be positive when given")
-        self._stack: List[Vertex] = []
+        # Oldest block at the left, the active (top) block at the right.
+        self._blocks: deque = deque()
+        self._size = 0
+        self._seq = 0
         self.max_size = max_size
         self.dropped = 0
 
     def push_block(self, block: Iterable[Vertex]) -> None:
-        ordered = list(block)
-        # Best candidate must pop first, so append the block reversed.
-        self._stack.extend(reversed(ordered))
-        if self.max_size is not None and len(self._stack) > self.max_size:
-            overflow = len(self._stack) - self.max_size
-            del self._stack[:overflow]
+        seq = self._seq
+        entries = [(vertex.value, seq + i, vertex) for i, vertex in enumerate(block)]
+        self._seq = seq + len(entries)
+        if not entries:
+            return
+        heapify(entries)
+        self._blocks.append(entries)
+        self._size += len(entries)
+        if self.max_size is not None and self._size > self.max_size:
+            overflow = self._size - self.max_size
+            self._drop_oldest(overflow)
+            self._size -= overflow
             self.dropped += overflow
 
+    def _drop_oldest(self, overflow: int) -> None:
+        """Evict ``overflow`` candidates, worst-of-oldest-block first.
+
+        Mirrors trimming the bottom of the flat stack the CL used to be:
+        the oldest block loses its worst-valued members first, and whole
+        blocks go once emptied.
+        """
+        blocks = self._blocks
+        while overflow and blocks:
+            oldest = blocks[0]
+            if len(oldest) <= overflow:
+                overflow -= len(oldest)
+                blocks.popleft()
+            else:
+                # An ascending-sorted list is a valid min-heap, so sorting in
+                # place both finds the worst entries and preserves heap order.
+                oldest.sort()
+                del oldest[len(oldest) - overflow :]
+                overflow = 0
+
     def pop(self) -> Optional[Vertex]:
-        if not self._stack:
+        blocks = self._blocks
+        if not blocks:
             return None
-        return self._stack.pop()
+        top = blocks[-1]
+        vertex = heappop(top)[2]
+        if not top:
+            blocks.pop()
+        self._size -= 1
+        return vertex
 
     def __len__(self) -> int:
-        return len(self._stack)
+        return self._size
 
     def __bool__(self) -> bool:
-        return bool(self._stack)
+        return self._size > 0
 
 
 class SearchBudget(ABC):
@@ -301,25 +414,34 @@ class VirtualTimeBudget(SearchBudget):
             raise ValueError("per_vertex_cost must be positive")
         self.quantum = quantum
         self.per_vertex_cost = per_vertex_cost
-        self._used = 0.0
+        # Vertices are counted as an integer and converted with a single
+        # multiplication in :meth:`used`.  Accumulating ``n * cost`` one
+        # charge at a time compounds a rounding error per charge, which at a
+        # quantum that is an exact multiple of the per-vertex cost could land
+        # just below ``quantum - EPSILON`` and admit one extra expansion —
+        # the boundary off-by-one the budget tests pin down.
+        self._vertices = 0
+        self._consumed = 0.0
 
     def charge(self, vertices: int) -> None:
-        self._used += vertices * self.per_vertex_cost
+        self._vertices += vertices
 
     def consume(self, amount: float) -> None:
         """Directly consume budget time (e.g. per-phase batch management)."""
         if amount < 0:
             raise ValueError("consumed amount must be non-negative")
-        self._used += amount
+        self._consumed += amount
 
     def used(self) -> float:
-        return self._used
+        return self._vertices * self.per_vertex_cost + self._consumed
 
     def exhausted(self) -> bool:
-        return self._used >= self.quantum - EPSILON
+        return self.used() >= self.quantum - EPSILON
 
     def remaining(self) -> float:
-        return max(0.0, self.quantum - self._used)
+        if self.exhausted():
+            return 0.0
+        return max(0.0, self.quantum - self.used())
 
 
 class WallClockBudget(SearchBudget):
@@ -394,11 +516,13 @@ class Expander(ABC):
         self, vertex: Vertex, ctx: PhaseContext, budget: SearchBudget,
         stats: SearchStats,
     ) -> Expansion:
-        """Generate, test, evaluate and sort the feasible successors.
+        """Generate, test, and evaluate the feasible successors.
 
         Implementations must ``budget.charge`` every candidate they generate
-        (feasible or not) and update ``stats`` accordingly, and must return
-        successors sorted best-first by ``ctx.evaluator`` values.
+        (feasible or not), update ``stats`` accordingly, and assign every
+        returned successor its ``ctx.evaluator`` value.  Successors are
+        returned in generation order; the :class:`CandidateList` orders them
+        best-first (ties in generation order) when the block is pushed.
         """
 
     @property

@@ -11,6 +11,8 @@ import socket
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.cluster import (
     ClusterConfig,
     FailurePlan,

@@ -1,0 +1,185 @@
+"""Budget boundary tests: no vertex expands after the quantum is exhausted.
+
+The paper charges every generated vertex against the phase quantum
+``Q_s(j)``; the edge case is a quantum that is an *exact multiple* of the
+per-vertex cost, where the budget lands precisely on the boundary.  The
+virtual budget used to accumulate ``n * cost`` one charge at a time, which
+compounds a float rounding error per charge — depending on the charge
+pattern the total could land just below ``quantum - EPSILON`` and admit
+one extra expansion (the off-by-one these tests pin down).  The fix counts
+vertices as an integer and converts with a single multiplication, making
+``used()`` independent of how the same total was charged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import search as search_module
+from repro.core import (
+    AssignmentOrientedExpander,
+    LoadBalancingEvaluator,
+    PhaseContext,
+    SequenceOrientedExpander,
+    UniformCommunicationModel,
+    VirtualTimeBudget,
+    WallClockBudget,
+    make_task,
+    run_search,
+)
+
+
+def _ctx(m: int = 4, n: int = 40) -> PhaseContext:
+    """Generous deadlines: every EDF-front task is feasible everywhere, so
+    each expansion is exactly one probe charging exactly ``m`` vertices."""
+    tasks = [
+        make_task(i, processing_time=1.0, deadline=100_000.0,
+                  affinity=frozenset(range(m)))
+        for i in range(n)
+    ]
+    return PhaseContext(
+        tasks=tasks,
+        num_processors=m,
+        comm=UniformCommunicationModel(0.5),
+        phase_start=0.0,
+        quantum=0.0,  # informational here; budgets are passed explicitly
+        initial_offsets=(0.0,) * m,
+        evaluator=LoadBalancingEvaluator(),
+    )
+
+
+class ChargeAfterExhaustionGuard(VirtualTimeBudget):
+    """Fails the test if any vertex is charged after exhaustion."""
+
+    def charge(self, vertices: int) -> None:
+        assert not self.exhausted(), (
+            f"charged {vertices} vertices after the quantum was exhausted "
+            f"(used={self.used()!r}, quantum={self.quantum!r})"
+        )
+        super().charge(vertices)
+
+
+class FakeClockBudget(WallClockBudget):
+    """Wall-clock budget on a virtual clock: each charged vertex advances
+    the patched ``perf_counter`` by a fixed amount, making the real-time
+    boundary as deterministic as the virtual one."""
+
+    def __init__(self, quantum_seconds: float, per_vertex_seconds: float,
+                 clock: list) -> None:
+        super().__init__(quantum_seconds)
+        self.per_vertex_seconds = per_vertex_seconds
+        self._clock = clock
+
+    def charge(self, vertices: int) -> None:
+        assert not self.exhausted(), (
+            f"charged {vertices} vertices after wall-clock exhaustion "
+            f"(used={self.used()!r}, quantum={self.quantum!r})"
+        )
+        super().charge(vertices)
+        self._clock[0] += vertices * self.per_vertex_seconds
+
+
+class TestVirtualBudgetBoundary:
+    def test_used_is_independent_of_charge_partitioning(self):
+        """The off-by-one's root cause: accumulate-per-charge makes
+        ``used()`` depend on how a total was split.  20 charges of 1 must
+        equal 1 charge of 20, bit for bit."""
+        one_at_a_time = VirtualTimeBudget(quantum=2.0, per_vertex_cost=0.1)
+        for _ in range(20):
+            one_at_a_time.charge(1)
+        all_at_once = VirtualTimeBudget(quantum=2.0, per_vertex_cost=0.1)
+        all_at_once.charge(20)
+        assert one_at_a_time.used() == all_at_once.used()
+        # Both sides of the boundary agree too.
+        assert one_at_a_time.exhausted() and all_at_once.exhausted()
+
+    def test_exhausts_exactly_at_quantum_not_before(self):
+        budget = VirtualTimeBudget(quantum=2.0, per_vertex_cost=0.25)
+        for _ in range(7):
+            budget.charge(1)
+            assert not budget.exhausted()
+        budget.charge(1)  # used == 8 * 0.25 == 2.0, exactly the quantum
+        assert budget.exhausted()
+        assert budget.remaining() == 0.0
+
+    def test_consumed_time_shares_the_same_boundary(self):
+        budget = VirtualTimeBudget(quantum=1.0, per_vertex_cost=0.25)
+        budget.charge(2)
+        budget.consume(0.5)
+        assert budget.exhausted()
+        assert budget.remaining() == 0.0
+
+    @pytest.mark.parametrize("expander_factory", [
+        AssignmentOrientedExpander,
+        SequenceOrientedExpander,
+    ])
+    def test_search_never_expands_past_exact_quantum(self, expander_factory):
+        """Quantum = exact multiple of a full expansion's charge: the search
+        must stop on the boundary, not one expansion past it."""
+        m = 4
+        per_vertex = 0.25
+        expansions = 6
+        quantum = expansions * m * per_vertex  # 6.0, exactly representable
+        budget = ChargeAfterExhaustionGuard(
+            quantum=quantum, per_vertex_cost=per_vertex
+        )
+        outcome = run_search(_ctx(m=m), expander_factory(), budget)
+        assert budget.used() == quantum
+        assert outcome.stats.vertices_generated == expansions * m
+        assert outcome.stats.expansions == expansions
+
+    def test_search_with_prime_quantum_stops_at_last_whole_expansion(self):
+        """A quantum that is *not* a multiple of the expansion charge: the
+        search stops after the last expansion that fits."""
+        m = 4
+        per_vertex = 0.25  # one expansion costs 1.0
+        budget = ChargeAfterExhaustionGuard(
+            quantum=6.5, per_vertex_cost=per_vertex
+        )
+        outcome = run_search(_ctx(m=m), AssignmentOrientedExpander(), budget)
+        # 6 expansions cost 6.0 < 6.5; a seventh would have been charged
+        # only because 6.0 is not exhausted — and 7.0 > 6.5 overruns by the
+        # paper's accepted partial-expansion margin, never a full one.
+        assert outcome.stats.expansions == 7
+        assert budget.used() == 7.0
+        assert budget.exhausted()
+
+
+class TestWallClockBudgetBoundary:
+    def _patched_clock(self, monkeypatch):
+        clock = [100.0]
+        monkeypatch.setattr(
+            search_module.time, "perf_counter", lambda: clock[0]
+        )
+        return clock
+
+    def test_exhausts_when_clock_hits_quantum_exactly(self, monkeypatch):
+        clock = self._patched_clock(monkeypatch)
+        budget = WallClockBudget(quantum_seconds=5.0)
+        budget.charge(1)  # starts the clock at 100.0
+        clock[0] = 104.999
+        assert not budget.exhausted()
+        clock[0] = 105.0  # used() == quantum: the boundary itself
+        assert budget.exhausted()
+        assert budget.remaining() == 0.0
+
+    @pytest.mark.parametrize("expander_factory", [
+        AssignmentOrientedExpander,
+        SequenceOrientedExpander,
+    ])
+    def test_search_never_expands_past_exact_quantum(
+        self, monkeypatch, expander_factory
+    ):
+        clock = self._patched_clock(monkeypatch)
+        m = 4
+        per_vertex = 0.25
+        expansions = 6
+        budget = FakeClockBudget(
+            quantum_seconds=expansions * m * per_vertex,
+            per_vertex_seconds=per_vertex,
+            clock=clock,
+        )
+        outcome = run_search(_ctx(m=m), expander_factory(), budget)
+        assert budget.used() == budget.quantum
+        assert outcome.stats.vertices_generated == expansions * m
+        assert outcome.stats.expansions == expansions

@@ -1,0 +1,207 @@
+"""Phase-level differential tests with full expansion-trace equality.
+
+Runs single scheduling phases through the optimized ``repro.core.phase``
+loop and the frozen ``repro.core.reference`` loop over seeded random
+batches and asserts the strongest equivalence the harness checks anywhere:
+the exact sequence of expanded vertices, every successor block (with
+full-precision evaluator values), every ``SearchStats`` counter, and the
+extracted schedule entries all match bit-for-bit — including under tiny
+``max_candidates`` bounds that force the CL eviction paths.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import phase as optimized_phase
+from repro.core import reference
+from repro.core.affinity import (
+    UniformCommunicationModel,
+    ZeroCommunicationModel,
+)
+from repro.core.cost import EarliestFinishEvaluator, LoadBalancingEvaluator
+from repro.core.representations import (
+    AssignmentOrientedExpander,
+    SequenceOrientedExpander,
+)
+
+from .harness import RecordingExpander, random_batch, stats_fingerprint
+
+
+def _phase_fingerprint(result) -> tuple:
+    entries = tuple(
+        (
+            entry.task.task_id,
+            entry.processor,
+            repr(entry.communication_cost),
+            repr(entry.scheduled_end),
+        )
+        for entry in result.schedule
+    )
+    return (
+        entries,
+        repr(result.time_used),
+        repr(result.quantum),
+        repr(result.phase_start),
+        stats_fingerprint(result.stats),
+        tuple(repr(offset) for offset in result.initial_offsets),
+    )
+
+
+def _run_pair(
+    tasks,
+    loads,
+    quantum,
+    comm,
+    optimized_expander,
+    reference_expander,
+    optimized_evaluator,
+    reference_evaluator,
+    max_candidates=None,
+    now=0.0,
+    per_vertex_cost=0.05,
+):
+    opt_log: list = []
+    ref_log: list = []
+    opt = optimized_phase.run_phase(
+        tasks=tasks,
+        loads=loads,
+        now=now,
+        quantum=quantum,
+        comm=comm,
+        expander=RecordingExpander(optimized_expander, opt_log),
+        evaluator=optimized_evaluator,
+        per_vertex_cost=per_vertex_cost,
+        max_candidates=max_candidates,
+    )
+    ref = reference.run_phase(
+        tasks=tasks,
+        loads=loads,
+        now=now,
+        quantum=quantum,
+        comm=comm,
+        expander=RecordingExpander(reference_expander, ref_log),
+        evaluator=reference_evaluator,
+        per_vertex_cost=per_vertex_cost,
+        max_candidates=max_candidates,
+    )
+    return opt, ref, opt_log, ref_log
+
+
+@pytest.mark.parametrize("seed", range(12))
+@pytest.mark.parametrize("num_processors", [2, 4, 8])
+def test_assignment_phase_trace_identical(seed: int, num_processors: int) -> None:
+    rng = random.Random(10_000 + seed)
+    tasks = random_batch(rng, num_tasks=18, num_processors=num_processors)
+    loads = [rng.uniform(0.0, 25.0) for _ in range(num_processors)]
+    quantum = rng.uniform(10.0, 60.0)
+    comm = UniformCommunicationModel(remote_cost=rng.uniform(5.0, 40.0))
+    opt, ref, opt_log, ref_log = _run_pair(
+        tasks,
+        loads,
+        quantum,
+        comm,
+        AssignmentOrientedExpander(),
+        reference.ReferenceAssignmentOrientedExpander(),
+        LoadBalancingEvaluator(),
+        reference.ReferenceLoadBalancingEvaluator(),
+    )
+    assert opt_log == ref_log
+    assert _phase_fingerprint(opt) == _phase_fingerprint(ref)
+
+
+@pytest.mark.parametrize("seed", range(12))
+@pytest.mark.parametrize("num_processors", [2, 4, 8])
+def test_sequence_phase_trace_identical(seed: int, num_processors: int) -> None:
+    rng = random.Random(20_000 + seed)
+    tasks = random_batch(rng, num_tasks=18, num_processors=num_processors)
+    loads = [rng.uniform(0.0, 25.0) for _ in range(num_processors)]
+    quantum = rng.uniform(10.0, 60.0)
+    comm = UniformCommunicationModel(remote_cost=rng.uniform(5.0, 40.0))
+    start = rng.randrange(num_processors)
+    opt, ref, opt_log, ref_log = _run_pair(
+        tasks,
+        loads,
+        quantum,
+        comm,
+        SequenceOrientedExpander(start_processor=start),
+        reference.ReferenceSequenceOrientedExpander(start_processor=start),
+        LoadBalancingEvaluator(),
+        reference.ReferenceLoadBalancingEvaluator(),
+    )
+    assert opt_log == ref_log
+    assert _phase_fingerprint(opt) == _phase_fingerprint(ref)
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("max_candidates", [1, 3, 8])
+def test_cl_eviction_paths_identical(seed: int, max_candidates: int) -> None:
+    """Tiny CL bounds exercise heap-block eviction vs flat-stack trimming."""
+    rng = random.Random(30_000 + seed)
+    m = 4
+    tasks = random_batch(rng, num_tasks=14, num_processors=m)
+    loads = [rng.uniform(0.0, 15.0) for _ in range(m)]
+    quantum = rng.uniform(20.0, 80.0)
+    comm = UniformCommunicationModel(remote_cost=15.0)
+    opt, ref, opt_log, ref_log = _run_pair(
+        tasks,
+        loads,
+        quantum,
+        comm,
+        AssignmentOrientedExpander(),
+        reference.ReferenceAssignmentOrientedExpander(),
+        LoadBalancingEvaluator(),
+        reference.ReferenceLoadBalancingEvaluator(),
+        max_candidates=max_candidates,
+    )
+    assert opt_log == ref_log
+    assert _phase_fingerprint(opt) == _phase_fingerprint(ref)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_earliest_finish_evaluator_identical(seed: int) -> None:
+    """The incremental-friendly EF evaluator matches its reference twin."""
+    rng = random.Random(40_000 + seed)
+    m = 5
+    tasks = random_batch(rng, num_tasks=16, num_processors=m)
+    loads = [rng.uniform(0.0, 20.0) for _ in range(m)]
+    quantum = rng.uniform(15.0, 70.0)
+    comm = UniformCommunicationModel(remote_cost=25.0)
+    opt, ref, opt_log, ref_log = _run_pair(
+        tasks,
+        loads,
+        quantum,
+        comm,
+        AssignmentOrientedExpander(),
+        reference.ReferenceAssignmentOrientedExpander(),
+        EarliestFinishEvaluator(),
+        reference.ReferenceEarliestFinishEvaluator(),
+    )
+    assert opt_log == ref_log
+    assert _phase_fingerprint(opt) == _phase_fingerprint(ref)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_zero_communication_model_identical(seed: int) -> None:
+    """All-ties regime: zero comm makes many evaluator values collide,
+    stressing the (value, seq) tie-breaking against the stable sort."""
+    rng = random.Random(50_000 + seed)
+    m = 4
+    tasks = random_batch(rng, num_tasks=12, num_processors=m)
+    loads = [0.0] * m
+    quantum = 50.0
+    comm = ZeroCommunicationModel()
+    opt, ref, opt_log, ref_log = _run_pair(
+        tasks,
+        loads,
+        quantum,
+        comm,
+        AssignmentOrientedExpander(),
+        reference.ReferenceAssignmentOrientedExpander(),
+        LoadBalancingEvaluator(),
+        reference.ReferenceLoadBalancingEvaluator(),
+    )
+    assert opt_log == ref_log
+    assert _phase_fingerprint(opt) == _phase_fingerprint(ref)

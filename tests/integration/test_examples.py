@@ -6,6 +6,8 @@ import sys
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
 
 

@@ -7,6 +7,8 @@ import time
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.experiments import ExperimentConfig, run_once
 
 
