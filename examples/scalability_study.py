@@ -5,10 +5,15 @@ Sweeps the processor count at fixed replication (30%) and tight deadlines
 baselines, and prints the table with a bar chart.  This is the CLI's `fig5`
 experiment in library form, at a size that runs in seconds.
 
+Every cell dispatches through the execution-backend registry: this config
+runs on the simulator (`backend="sim"`, the default), and the identical
+sweep runs on the live TCP cluster by building the config with
+``.with_backend("cluster")`` — or `--backend cluster` on the CLI.
+
 Run:  python examples/scalability_study.py
 """
 
-from repro.experiments import ExperimentConfig, figure5
+from repro.experiments import ExperimentConfig, figure5, run_once
 from repro.metrics import comparison_summary
 
 
@@ -43,6 +48,15 @@ def main() -> None:
             f"{cell.mean_depth:5.1f}, processors touched/phase "
             f"{cell.mean_processors_touched:4.1f}"
         )
+
+    # One repetition of the m=10 cell through the unified runner: the
+    # RunReport printed here has the exact same shape a live-cluster run
+    # of this cell would produce.
+    report = run_once(
+        config.with_processors(10), "rtsads", config.base_seed
+    )
+    print(f"\none {report.backend}-backend repetition of the m=10 cell:")
+    print(report.render())
 
 
 if __name__ == "__main__":

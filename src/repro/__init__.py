@@ -32,6 +32,13 @@ from .core import (
     UniformCommunicationModel,
     make_task,
 )
+from .runtime import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    RunReport,
+    get_backend,
+    register_backend,
+)
 from .simulator import (
     DistributedRuntime,
     Machine,
@@ -43,14 +50,17 @@ from .simulator import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BACKEND_NAMES",
     "DCOLS",
     "DistributedRuntime",
+    "ExecutionBackend",
     "GreedyEDFScheduler",
     "Machine",
     "MachineConfig",
     "MyopicScheduler",
     "RTSADS",
     "RandomScheduler",
+    "RunReport",
     "Schedule",
     "Scheduler",
     "SelfAdjustingQuantum",
@@ -59,6 +69,8 @@ __all__ = [
     "TaskSet",
     "UniformCommunicationModel",
     "__version__",
+    "get_backend",
     "make_task",
+    "register_backend",
     "simulate",
 ]

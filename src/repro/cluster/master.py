@@ -4,7 +4,10 @@ This is the production-shaped counterpart of
 :class:`repro.simulator.runtime.DistributedRuntime`: the same phase loop
 (batch -> quantum -> search -> deliver), but time is the wall clock, the
 "working processors" are worker processes reached over TCP, and delivery is
-an ``ASSIGN`` message instead of a simulated ready-queue append.
+an ``ASSIGN`` message instead of a simulated ready-queue append.  The loop
+itself lives in the backend-neutral
+:class:`~repro.runtime.driver.PhaseDriver`; this module is the live
+:class:`~repro.runtime.driver.PhaseHooks` implementation.
 
 The paper's quantum criterion ``Q_s(j) <= max(Min_Slack, Min_Load)`` is
 self-adjusted against *wall-clock* quantities: ``Min_Slack`` is computed at
@@ -17,9 +20,10 @@ by ``t_s + Q_s``; a real host can overshoot (interpreter jitter, message
 floods), so the master re-validates every entry at dispatch time against a
 fresh clock reading plus a safety margin: ``t_c + Load_k + (p + c) +
 margin <= d``.  Only entries passing that re-check are dispatched and
-counted *guaranteed*; the rest return to the batch.  This is what makes
-the paper's theorem — no guaranteed task misses its deadline — hold under
-wall-clock feasibility rather than simulated time.
+counted *guaranteed*; the rest return to the driver's pending set and
+re-enter the batch at the next phase.  This is what makes the paper's
+theorem — no guaranteed task misses its deadline — hold under wall-clock
+feasibility rather than simulated time.
 
 **Failure handling.**  A worker that misses two heartbeat intervals (or
 whose socket drops) is declared dead; its surrendered queue re-enters the
@@ -31,13 +35,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..core.affinity import UniformCommunicationModel
-from ..core.batch import Batch
 from ..core.task import Task
 from ..experiments.runner import build_scheduler
+from ..metrics.compliance import STATUS_COMPLETED, STATUS_EXPIRED
 from ..observability import Instrumentation, get_instrumentation
+from ..runtime.driver import PhaseDriver, PhaseHooks
+from ..runtime.report import ClusterReport, RunReport  # noqa: F401
 from . import protocol
 from .config import ClusterConfig, build_cluster_workload
 from .failure import HeartbeatMonitor
@@ -46,11 +52,12 @@ from .network import CONNECT, DISCONNECT, MESSAGE, MessageHub, NetworkEvent
 #: Deadline-comparison slop in virtual units (mirrors the core EPSILON).
 EPSILON = 1e-9
 
-#: Terminal and transient task states of the live run.
+#: Transient task states of the live run; terminal states are the
+#: canonical ones from :mod:`repro.metrics.compliance`.
 PENDING = "pending"
 DISPATCHED = "dispatched"
-COMPLETED = "completed"
-EXPIRED = "expired"
+COMPLETED = STATUS_COMPLETED
+EXPIRED = STATUS_EXPIRED
 
 
 class ClusterError(RuntimeError):
@@ -112,72 +119,6 @@ class _WorkerState:
         return sum(d.planned_cost for d in self.outstanding.values())
 
 
-@dataclass
-class ClusterReport:
-    """Outcome of one live run; the cluster analogue of a trace digest."""
-
-    scheduler_name: str
-    num_workers: int
-    total_tasks: int
-    guaranteed: int
-    completed: int
-    deadline_hits: int
-    completed_late: int
-    expired: int
-    guaranteed_violations: int
-    reschedules: int
-    workers_lost: int
-    phases: int
-    makespan_units: float
-    wall_seconds: float
-    port: int
-    seed: int
-
-    @property
-    def guarantee_ratio(self) -> float:
-        """Fraction of tasks the master dispatched under a guarantee."""
-        if not self.total_tasks:
-            return 0.0
-        return self.guaranteed / self.total_tasks
-
-    @property
-    def compliance_ratio(self) -> float:
-        """Fraction of tasks that finished by their deadline (wall clock)."""
-        if not self.total_tasks:
-            return 0.0
-        return self.deadline_hits / self.total_tasks
-
-    def render(self) -> str:
-        lines = [
-            (
-                f"Live cluster run - {self.scheduler_name} on "
-                f"{self.num_workers} workers (seed {self.seed})"
-            ),
-            (
-                f"guarantee ratio:  {self.guarantee_ratio:.3f} "
-                f"({self.guaranteed}/{self.total_tasks} guaranteed)"
-            ),
-            (
-                f"compliance ratio: {self.compliance_ratio:.3f} "
-                f"({self.deadline_hits}/{self.total_tasks} met their deadline)"
-            ),
-            (
-                f"completed {self.completed} (late {self.completed_late}), "
-                f"expired {self.expired}, "
-                f"guaranteed-but-missed {self.guaranteed_violations}"
-            ),
-            (
-                f"phases {self.phases}, reschedules {self.reschedules}, "
-                f"workers lost {self.workers_lost}"
-            ),
-            (
-                f"makespan {self.makespan_units:.1f} units "
-                f"({self.wall_seconds:.2f} s wall)"
-            ),
-        ]
-        return "\n".join(lines)
-
-
 def remap_tasks(
     tasks: Sequence[Task], alive: Sequence[int]
 ) -> List[Task]:
@@ -202,7 +143,7 @@ def remap_tasks(
     return remapped
 
 
-class ClusterMaster:
+class ClusterMaster(PhaseHooks):
     """Accepts workers, runs the scheduling loop, collects completions."""
 
     def __init__(
@@ -231,20 +172,18 @@ class ClusterMaster:
         self.records: Dict[int, LiveTaskRecord] = {
             task.task_id: LiveTaskRecord(task=task) for task in tasks
         }
-        self._arrivals: List[Task] = sorted(
-            tasks, key=lambda t: (t.arrival_time, t.task_id)
-        )
-        self._next_arrival = 0
-        self.batch = Batch()
+        self.driver = PhaseDriver(scheduler=self.scheduler, hooks=self)
+        self.driver.stage_arrivals(tasks)
         self.workers: Dict[int, _WorkerState] = {}
         self._conn_to_worker: Dict[int, int] = {}
         self.monitor = HeartbeatMonitor(
             config.heartbeat_interval, config.heartbeat_miss_factor
         )
-        self.phases = 0
-        self.reschedules = 0
-        self.workers_lost = 0
         self.guaranteed_violations = 0
+        # Per-phase scratch set by loads() and consumed by deliver_entry():
+        # the alive-worker index space and the accumulating queue picture.
+        self._phase_alive: List[int] = []
+        self._phase_cumulative: List[float] = []
         self._t0: Optional[float] = None
         self._start_wall: Optional[float] = None
 
@@ -262,7 +201,7 @@ class ClusterMaster:
 
     # ----- lifecycle -------------------------------------------------------
 
-    def run(self) -> ClusterReport:
+    def run(self) -> RunReport:
         """Serve one complete workload; returns the aggregated report."""
         self._start_wall = time.monotonic()
         try:
@@ -417,13 +356,12 @@ class ClusterMaster:
         if state is None or not state.alive:
             return
         state.alive = False
-        self.workers_lost += 1
         self.monitor.forget(worker_id)
         self._conn_to_worker.pop(state.conn_id, None)
         self.hub.close_connection(state.conn_id)
         surrendered = list(state.outstanding.values())
         state.outstanding.clear()
-        requeued = 0
+        requeue: List[Task] = []
         for dispatched in surrendered:
             record = self.records.get(dispatched.task_id)
             if record is None or record.status != DISPATCHED:
@@ -436,20 +374,20 @@ class ClusterMaster:
             record.dispatched_at = None
             record.planned_cost = None
             record.reschedules += 1
-            self.batch.add_arrivals([record.task])
-            self.reschedules += 1
-            requeued += 1
+            requeue.append(record.task)
+        self.driver.worker_lost()
+        self.driver.surrender(requeue)
         self.obs.logger.warning(
             "worker lost",
             worker=worker_id,
             reason=reason,
-            surrendered=requeued,
+            surrendered=len(requeue),
         )
         if self.obs.enabled:
             self.obs.metrics.counter("cluster_workers_lost").inc()
-            self.obs.metrics.counter("cluster_reschedules").inc(requeued)
+            self.obs.metrics.counter("cluster_reschedules").inc(len(requeue))
 
-    # ----- scheduling -------------------------------------------------------
+    # ----- PhaseHooks: the driver's view of the live cluster ----------------
 
     def _alive_workers(self) -> List[int]:
         return sorted(
@@ -458,147 +396,137 @@ class ClusterMaster:
             if state.alive
         )
 
-    def _admit_and_expire(self, now_v: float) -> None:
-        arrived: List[Task] = []
-        while self._next_arrival < len(self._arrivals):
-            task = self._arrivals[self._next_arrival]
-            if task.arrival_time > now_v:
-                break
-            arrived.append(task)
-            self._next_arrival += 1
-        if arrived:
-            self.batch.add_arrivals(arrived)
-        for task in self.batch.drop_expired(now_v):
-            record = self.records[task.task_id]
-            record.status = EXPIRED
+    def loads(self, now: float) -> List[float]:
+        """Live ``Load_k``: outstanding worst-case work per alive worker.
+
+        Also pins this phase's alive-index space and seeds the cumulative
+        queue picture :meth:`deliver_entry` extends dispatch by dispatch.
+        An empty return (every worker dead) makes the driver skip the
+        phase; leftovers expire as the clock advances.
+        """
+        alive = self._alive_workers()
+        self._phase_alive = alive
+        loads = [
+            self.workers[worker_id].outstanding_units() for worker_id in alive
+        ]
+        self._phase_cumulative = list(loads)
+        return loads
+
+    def transform_batch(self, tasks: List[Task], now: float) -> List[Task]:
+        return remap_tasks(tasks, self._phase_alive)
+
+    def on_task_expired(self, task: Task, now: float) -> None:
+        record = self.records[task.task_id]
+        record.status = EXPIRED
+        if self.obs.enabled:
+            self.obs.metrics.counter("cluster_tasks_expired").inc()
+            self.obs.emit(
+                "task",
+                transition="expired",
+                task_id=task.task_id,
+                t=now,
+                deadline=task.deadline,
+            )
+
+    def deliver_entry(self, entry, phase_index: int, now: float) -> bool:
+        """Re-validate one entry at dispatch time and send it.
+
+        The cumulative loads picture starts as the phase's initial
+        per-worker outstanding work and accumulates this phase's own
+        dispatches, so later entries on the same worker see the queue the
+        earlier ones created.  A declined entry returns to the driver's
+        pending set and re-enters the batch next phase.
+        """
+        config = self.config
+        margin = config.guarantee_margin_units
+        worker_id = self._phase_alive[entry.processor]
+        state = self.workers[worker_id]
+        if not state.alive:
+            return False  # died mid-phase
+        record = self.records[entry.task.task_id]
+        now_v = self.vnow()
+        finish_bound = (
+            now_v + self._phase_cumulative[entry.processor] + entry.total_cost
+        )
+        if finish_bound + margin > entry.task.deadline + EPSILON:
+            # The wall clock outran the phase's feasibility bound (or
+            # the margin eats the slack); not guaranteed, try again
+            # next phase or expire.
             if self.obs.enabled:
-                self.obs.metrics.counter("cluster_tasks_expired").inc()
-                self.obs.emit(
-                    "task",
-                    transition="expired",
-                    task_id=task.task_id,
-                    t=now_v,
-                    deadline=task.deadline,
-                )
+                self.obs.metrics.counter("cluster_dispatch_rejected").inc()
+            return False
+        sent = self.hub.send(
+            state.conn_id,
+            protocol.assign(
+                task_id=entry.task.task_id,
+                worker_id=worker_id,
+                total_cost=entry.total_cost,
+                communication_cost=entry.communication_cost,
+                deadline=entry.task.deadline,
+            ),
+        )
+        if not sent:
+            self._worker_lost(worker_id, reason="send failed")
+            return False
+        record.status = DISPATCHED
+        record.worker = worker_id
+        record.guaranteed = True
+        record.dispatched_at = now_v
+        record.planned_cost = entry.total_cost
+        state.outstanding[entry.task.task_id] = _Dispatched(
+            task_id=entry.task.task_id,
+            planned_cost=entry.total_cost,
+            deadline=entry.task.deadline,
+        )
+        self._phase_cumulative[entry.processor] += entry.total_cost
+        if self.obs.enabled:
+            self.obs.metrics.counter("cluster_tasks_dispatched").inc()
+            self.obs.emit(
+                "task",
+                transition="dispatched",
+                task_id=entry.task.task_id,
+                t=now_v,
+                processor=worker_id,
+            )
+        return True
+
+    # ----- scheduling -------------------------------------------------------
 
     def _schedule_ready_work(self) -> None:
         """Run one scheduling phase if there is anything to place."""
         now_v = self.vnow()
-        self._admit_and_expire(now_v)
-        if not self.batch:
+        opened = self.driver.open_phase(now_v)
+        if opened is None:
             return
-        alive = self._alive_workers()
-        if not alive:
-            return  # no capacity; leftovers expire as the clock advances
-        loads = [
-            self.workers[worker_id].outstanding_units() for worker_id in alive
-        ]
-        batch_tasks = remap_tasks(self.batch.edf_order(), alive)
-        quantum = self.scheduler.plan_quantum(batch_tasks, loads, now_v)
         with self.obs.span(
-            "cluster_phase", phase=self.phases, batch=len(batch_tasks)
+            "cluster_phase", phase=opened.index
         ) as span:
-            result = self.scheduler.schedule_phase(
-                batch_tasks, loads, now_v, quantum
-            )
-            dispatched = self._dispatch(result.schedule, alive, loads)
+            trace = self.driver.deliver_phase(opened, now_v)
             if span is not None and self.obs.enabled:
                 span.set(
                     t=round(now_v, 3),
-                    quantum=quantum,
-                    scheduled=len(result.schedule),
-                    dispatched=dispatched,
+                    batch=trace.batch_size,
+                    quantum=trace.quantum,
+                    scheduled=trace.scheduled,
+                    dispatched=trace.delivered,
                 )
-        self.phases += 1
         if self.obs.enabled:
             self.obs.metrics.counter("cluster_phases").inc()
-
-    def _dispatch(
-        self, schedule, alive: List[int], loads: List[float]
-    ) -> int:
-        """Re-validate and send each entry; returns how many went out.
-
-        ``loads`` starts as the phase's initial per-worker outstanding work
-        and accumulates this phase's own dispatches, so later entries on
-        the same worker see the queue the earlier ones created.
-        """
-        config = self.config
-        margin = config.guarantee_margin_units
-        dispatched = 0
-        cumulative = list(loads)
-        for entry in schedule:
-            worker_id = alive[entry.processor]
-            state = self.workers[worker_id]
-            if not state.alive:
-                continue  # died mid-phase; entry stays in the batch
-            record = self.records[entry.task.task_id]
-            now_v = self.vnow()
-            finish_bound = (
-                now_v + cumulative[entry.processor] + entry.total_cost
-            )
-            if finish_bound + margin > entry.task.deadline + EPSILON:
-                # The wall clock outran the phase's feasibility bound (or
-                # the margin eats the slack); not guaranteed, try again
-                # next phase or expire.
-                if self.obs.enabled:
-                    self.obs.metrics.counter(
-                        "cluster_dispatch_rejected"
-                    ).inc()
-                continue
-            sent = self.hub.send(
-                state.conn_id,
-                protocol.assign(
-                    task_id=entry.task.task_id,
-                    worker_id=worker_id,
-                    total_cost=entry.total_cost,
-                    communication_cost=entry.communication_cost,
-                    deadline=entry.task.deadline,
-                ),
-            )
-            if not sent:
-                self._worker_lost(worker_id, reason="send failed")
-                continue
-            self.batch.remove_scheduled([entry.task.task_id])
-            record.status = DISPATCHED
-            record.worker = worker_id
-            record.guaranteed = True
-            record.dispatched_at = now_v
-            record.planned_cost = entry.total_cost
-            state.outstanding[entry.task.task_id] = _Dispatched(
-                task_id=entry.task.task_id,
-                planned_cost=entry.total_cost,
-                deadline=entry.task.deadline,
-            )
-            cumulative[entry.processor] += entry.total_cost
-            dispatched += 1
-            if self.obs.enabled:
-                self.obs.metrics.counter("cluster_tasks_dispatched").inc()
-                self.obs.emit(
-                    "task",
-                    transition="dispatched",
-                    task_id=entry.task.task_id,
-                    t=now_v,
-                    processor=worker_id,
-                )
-        return dispatched
 
     # ----- termination ------------------------------------------------------
 
     def _finished(self) -> bool:
-        if self._next_arrival < len(self._arrivals):
-            return False
-        if self.batch:
+        if self.driver.has_backlog():
             return False
         return all(
             not state.outstanding for state in self.workers.values()
         )
 
-    def _build_report(self) -> ClusterReport:
+    def _build_report(self) -> RunReport:
         records = self.records.values()
         completed = [r for r in records if r.status == COMPLETED]
         hits = [r for r in completed if r.met_deadline]
         expired = [r for r in records if r.status == EXPIRED]
-        guaranteed = [r for r in records if r.guaranteed]
         makespan = max(
             (r.finished_at for r in completed if r.finished_at is not None),
             default=self.vnow(),
@@ -608,21 +536,23 @@ class ClusterMaster:
             if self._start_wall is not None
             else 0.0
         )
-        return ClusterReport(
+        return RunReport(
+            backend="cluster",
             scheduler_name=self.scheduler.name,
             num_workers=self.config.num_workers,
+            seed=self.config.experiment.base_seed,
             total_tasks=len(self.records),
-            guaranteed=len(guaranteed),
+            guaranteed=self.driver.guaranteed_count,
             completed=len(completed),
             deadline_hits=len(hits),
             completed_late=len(completed) - len(hits),
             expired=len(expired),
+            failed=0,  # fail-stop workers surrender; tasks never die in flight
             guaranteed_violations=self.guaranteed_violations,
-            reschedules=self.reschedules,
-            workers_lost=self.workers_lost,
-            phases=self.phases,
-            makespan_units=makespan,
+            reschedules=self.driver.reschedules,
+            workers_lost=self.driver.workers_lost,
+            makespan=float(makespan),
             wall_seconds=wall,
-            port=self.port,
-            seed=self.config.experiment.base_seed,
+            phases=self.driver.phases,
+            extras={"port": self.port},
         )

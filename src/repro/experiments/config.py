@@ -50,6 +50,13 @@ class ExperimentConfig:
     confidence: float = 0.99
     significance_level: float = 0.01
 
+    # --- execution ---
+    # Registry name of the ExecutionBackend the runner dispatches to
+    # ("sim" = virtual-clock simulator, "cluster" = live TCP system).
+    # Kept a plain string so configs stay picklable and open to backends
+    # registered by downstream code.
+    backend: str = "sim"
+
     def __post_init__(self) -> None:
         if self.num_transactions <= 0:
             raise ValueError("num_transactions must be positive")
@@ -65,6 +72,8 @@ class ExperimentConfig:
             raise ValueError("per_vertex_cost must be positive")
         if self.runs <= 0:
             raise ValueError("runs must be positive")
+        if not self.backend:
+            raise ValueError("backend must be a non-empty registry name")
 
     # ----- canonical scales --------------------------------------------------
 
@@ -116,6 +125,9 @@ class ExperimentConfig:
 
     def with_slack_factor(self, slack_factor: float) -> "ExperimentConfig":
         return replace(self, slack_factor=slack_factor)
+
+    def with_backend(self, backend: str) -> "ExperimentConfig":
+        return replace(self, backend=backend)
 
     def seeds(self) -> List[int]:
         """One deterministic seed per repetition."""

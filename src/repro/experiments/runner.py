@@ -2,15 +2,22 @@
 
 One *cell* is (config, scheduler); the runner builds the database, the
 transaction workload, the machine, and the scheduler from the config, runs
-the simulation ``config.runs`` times with distinct seeds, and aggregates hit
+the cell ``config.runs`` times with distinct seeds, and aggregates hit
 ratios with the paper's statistics (mean, 99% CI).
+
+*Where* each repetition runs is the config's (or the caller's) choice:
+:func:`run_once` dispatches through the
+:class:`~repro.runtime.backend.ExecutionBackend` registry, so the same
+cell definition executes on the virtual-clock simulator or the live TCP
+cluster and comes back as the same
+:class:`~repro.runtime.report.RunReport`.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from ..core.affinity import UniformCommunicationModel
 from ..core.baselines import GreedyEDFScheduler, MyopicScheduler, RandomScheduler
@@ -20,10 +27,10 @@ from ..core.quantum import QuantumPolicy
 from ..core.rtsads import RTSADS
 from ..core.scheduler import Scheduler
 from ..database.database import DatabaseConfig, DistributedDatabase
-from ..metrics.compliance import compliance_report
 from ..metrics.stats import ConfidenceInterval, confidence_interval, mean
 from ..observability import get_instrumentation
-from ..simulator.runtime import SimulationResult, simulate
+from ..runtime.backend import ExecutionBackend, get_backend
+from ..runtime.report import RunReport
 from ..workload.transactions import (
     TransactionWorkloadConfig,
     TransactionWorkloadGenerator,
@@ -112,21 +119,23 @@ def run_once(
     evaluator: Optional[VertexEvaluator] = None,
     quantum_policy: Optional[QuantumPolicy] = None,
     validate_phases: bool = False,
-) -> SimulationResult:
-    """One full simulation of one cell with one seed."""
-    comm = UniformCommunicationModel(remote_cost=config.remote_cost)
-    _, tasks = build_workload(config, seed)
-    scheduler = build_scheduler(
-        scheduler_name, config, comm,
-        evaluator=evaluator, quantum_policy=quantum_policy,
-    )
-    obs = get_instrumentation()
-    return simulate(
-        scheduler=scheduler,
-        workload=tasks,
-        num_workers=config.num_processors,
+    backend: Union[str, ExecutionBackend, None] = None,
+) -> RunReport:
+    """One full run of one cell with one seed on one backend.
+
+    ``backend`` (a registry name or a pre-built
+    :class:`~repro.runtime.backend.ExecutionBackend` instance) overrides
+    ``config.backend``; the default follows the config, so a plain
+    ``run_once(config, name, seed)`` keeps running on the simulator.
+    """
+    chosen = get_backend(backend if backend is not None else config.backend)
+    return chosen.run_once(
+        config,
+        scheduler_name,
+        seed,
+        evaluator=evaluator,
+        quantum_policy=quantum_policy,
         validate_phases=validate_phases,
-        instrumentation=obs.bind(seed=seed) if obs.enabled else None,
     )
 
 
@@ -171,8 +180,16 @@ def run_cell(
     scheduler_name: str,
     evaluator: Optional[VertexEvaluator] = None,
     quantum_policy: Optional[QuantumPolicy] = None,
+    backend: Union[str, ExecutionBackend, None] = None,
 ) -> CellResult:
     """Run every repetition of a cell and aggregate the paper's metrics."""
+    # Resolve the backend once so the aggregated CellResult (and the
+    # metrics snapshot) record where the cell actually ran, even when the
+    # caller overrode the config's choice.
+    resolved = get_backend(backend if backend is not None else config.backend)
+    if config.backend != resolved.name:
+        config = config.with_backend(resolved.name)
+    backend = resolved
     obs = get_instrumentation()
     counters_before = (
         dict(obs.metrics.snapshot()["counters"]) if obs.enabled else {}
@@ -186,30 +203,31 @@ def run_cell(
     missed = 0
     seeds = config.seeds()
     for repetition, seed in enumerate(seeds, start=1):
-        result = run_once(
+        report = run_once(
             config,
             scheduler_name,
             seed,
             evaluator=evaluator,
             quantum_policy=quantum_policy,
+            backend=backend,
         )
-        report = compliance_report(result.trace)
         hit_percents.append(report.hit_percent)
-        dead_end_rates.append(result.trace.dead_end_rate())
-        mean_depths.append(result.trace.mean_depth())
-        processors_touched.append(result.trace.mean_processors_touched())
-        scheduling_times.append(result.trace.total_scheduling_time())
-        makespans.append(result.makespan)
-        missed += report.scheduled_but_missed
+        dead_end_rates.append(report.dead_end_rate)
+        mean_depths.append(report.mean_depth)
+        processors_touched.append(report.mean_processors_touched)
+        scheduling_times.append(report.total_scheduling_time)
+        makespans.append(report.makespan)
+        missed += report.guaranteed_violations
         obs.logger.info(
             "repetition done",
             scheduler=scheduler_name,
             rep=f"{repetition}/{len(seeds)}",
             seed=seed,
+            backend=report.backend,
             processors=config.num_processors,
             replication=config.replication_rate,
             hit_percent=round(report.hit_percent, 2),
-            phases=len(result.phases),
+            phases=report.num_phases,
         )
     cell = CellResult(
         scheduler_name=scheduler_name,
@@ -239,6 +257,7 @@ def _record_cell_snapshot(obs, cell: CellResult, counters_before) -> None:
     obs.record_cell(
         {
             "scheduler": cell.scheduler_name,
+            "backend": config.backend,
             "processors": config.num_processors,
             "replication": config.replication_rate,
             "slack_factor": config.slack_factor,

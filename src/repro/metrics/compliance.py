@@ -2,8 +2,16 @@
 
 *Deadline compliance* is the percentage of tasks that complete by their
 deadline; *scalability* is the ability to increase compliance as processors
-are added.  This module computes both from simulation traces, plus the
-per-class and per-phase breakdowns the analysis sections use.
+are added.  This module computes both, plus the per-class and per-phase
+breakdowns the analysis sections use.
+
+This is the *base* metrics layer: every compliance-style ratio in the
+codebase — :attr:`~repro.runtime.report.RunReport.hit_ratio`,
+``guarantee_ratio``, :meth:`SimulationTrace.hit_ratio` — bottoms out in
+:func:`ratio` here, so the zero-task guard and the division live in
+exactly one place.  It imports nothing from the runtime layers (they
+import it), which is also why the canonical terminal-state names are
+defined here and re-exported by the trace/report modules.
 """
 
 from __future__ import annotations
@@ -11,7 +19,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from ..simulator.trace import STATUS_COMPLETED, SimulationTrace
+#: Canonical task terminal states, shared by every backend's records.
+STATUS_COMPLETED = "completed"
+STATUS_EXPIRED = "expired"  # dropped from a batch, deadline already hopeless
+STATUS_FAILED = "failed"  # in flight on a processor that crashed
+
+
+def ratio(numerator: int, denominator: int) -> float:
+    """The single division behind every compliance-style ratio.
+
+    A zero (or negative) denominator yields 0.0 — an empty run complied
+    with nothing rather than raising mid-report.
+    """
+    if denominator <= 0:
+        return 0.0
+    return numerator / denominator
+
+
+def percent(numerator: int, denominator: int) -> float:
+    """:func:`ratio` scaled to the paper's percentage axes."""
+    return 100.0 * ratio(numerator, denominator)
 
 
 @dataclass(frozen=True)
@@ -27,16 +54,14 @@ class ComplianceReport:
 
     @property
     def hit_ratio(self) -> float:
-        if not self.total_tasks:
-            return 0.0
-        return self.deadline_hits / self.total_tasks
+        return ratio(self.deadline_hits, self.total_tasks)
 
     @property
     def hit_percent(self) -> float:
-        return 100.0 * self.hit_ratio
+        return percent(self.deadline_hits, self.total_tasks)
 
 
-def compliance_report(trace: SimulationTrace) -> ComplianceReport:
+def compliance_report(trace: "SimulationTrace") -> ComplianceReport:
     """Aggregate one trace into a :class:`ComplianceReport`."""
     completed = trace.completed()
     hits = trace.deadline_hits()
@@ -50,7 +75,7 @@ def compliance_report(trace: SimulationTrace) -> ComplianceReport:
     )
 
 
-def hit_ratio_by_tag(trace: SimulationTrace) -> Dict[str, float]:
+def hit_ratio_by_tag(trace: "SimulationTrace") -> Dict[str, float]:
     """Deadline hit ratio split by task tag (e.g. 'indexed' vs 'scan')."""
     totals: Dict[str, int] = {}
     hits: Dict[str, int] = {}
@@ -62,7 +87,9 @@ def hit_ratio_by_tag(trace: SimulationTrace) -> Dict[str, float]:
     return {tag: hits.get(tag, 0) / total for tag, total in totals.items()}
 
 
-def processor_balance(trace: SimulationTrace, num_processors: int) -> List[int]:
+def processor_balance(
+    trace: "SimulationTrace", num_processors: int
+) -> List[int]:
     """Completed-task counts per processor — the load-balance picture."""
     counts = [0] * num_processors
     for record in trace.records.values():

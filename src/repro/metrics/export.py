@@ -8,6 +8,9 @@ module serializes the same result objects for plotting pipelines:
   column per series).
 * :func:`table_to_csv` / :func:`table_to_json` — any headers-plus-rows
   table (the ablation/extension results).
+* :func:`report_to_json` / :func:`export_report` — one run's
+  :class:`~repro.runtime.report.RunReport`; the schema is identical for
+  every execution backend, which the CI backend-matrix job asserts.
 * :func:`write_text` — tiny helper writing with a trailing newline.
 
 Only the standard library is used; CSV quoting follows RFC 4180 via the
@@ -78,6 +81,16 @@ def table_to_json(
     return json.dumps(document, indent=indent)
 
 
+def report_to_json(report, indent: int = 2) -> str:
+    """JSON document for one run's report, keys sorted for stable diffs.
+
+    Duck-typed on ``as_dict()`` rather than annotated with
+    :class:`~repro.runtime.report.RunReport` so this base-layer module
+    keeps importing nothing from the runtime packages.
+    """
+    return json.dumps(report.as_dict(), indent=indent, sort_keys=True)
+
+
 def write_text(path: str | Path, text: str) -> Path:
     """Write ``text`` to ``path`` (creating parents), newline-terminated."""
     path = Path(path)
@@ -95,3 +108,9 @@ def export_figure(figure: FigureData, stem: str | Path) -> List[Path]:
         write_text(stem.with_suffix(".csv"), figure_to_csv(figure)),
         write_text(stem.with_suffix(".json"), figure_to_json(figure)),
     ]
+
+
+def export_report(report, stem: str | Path) -> Path:
+    """Write ``<stem>.json`` for one run's report."""
+    stem = Path(stem)
+    return write_text(stem.with_suffix(".json"), report_to_json(report))

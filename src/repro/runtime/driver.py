@@ -1,0 +1,282 @@
+"""The backend-neutral scheduling loop shared by every runtime.
+
+The paper's on-line cycle (Section 4) — form ``Batch(j)`` from leftovers
+plus new arrivals, evict hopeless deadlines, allocate ``Q_s(j)``, search
+for a feasible partial schedule, deliver it at ``t_e = t_s + sigma_j`` —
+is the same whether "time" is a virtual event clock (the simulator) or
+the wall clock (the live TCP cluster).  What differs is only *how* the
+environment answers a handful of questions: what is each processor's
+current load, how does a schedule entry physically reach its processor,
+and what happens to a task record when it expires.
+
+:class:`PhaseDriver` owns everything backend-independent — admission,
+expiry, quantum allocation, the feasibility search call, delivery-time
+batch bookkeeping, guarantee accounting, and failure remap — and asks a
+:class:`PhaseHooks` implementation (the concrete runtime) for the rest.
+Both :class:`~repro.simulator.runtime.DistributedRuntime` and
+:class:`~repro.cluster.master.ClusterMaster` are thin hook objects around
+one driver instance.
+
+Two admission styles are supported because the two time models need them:
+
+* **event-driven** (:meth:`PhaseDriver.admit`): the simulator's engine
+  delivers one ``TaskArrived`` event per task at exactly its arrival time;
+* **time-driven** (:meth:`PhaseDriver.stage_arrivals` +
+  the automatic :meth:`admit_due` inside :meth:`open_phase`): the live
+  master polls a wall clock and admits everything whose arrival time has
+  passed since the last poll.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+from ..core.batch import Batch
+from ..core.scheduler import Scheduler
+from ..core.task import Task
+
+
+@dataclass
+class PhaseTrace:
+    """Summary of one scheduling phase, recorded by the driver.
+
+    ``scheduled`` counts the entries the search placed; ``delivered``
+    counts how many of those the backend actually accepted (a simulated
+    processor may have crashed between phase start and delivery, a live
+    dispatch may fail its wall-clock guarantee re-check).
+    """
+
+    index: int
+    start: float
+    quantum: float
+    time_used: float
+    batch_size: int
+    scheduled: int
+    expired_before: int
+    dead_end: bool
+    complete: bool
+    max_depth: int
+    processors_touched: int
+    vertices_generated: int
+    delivered: int = 0
+
+    @property
+    def end(self) -> float:
+        return self.start + self.time_used
+
+
+@dataclass
+class OpenPhase:
+    """An in-flight phase: search finished, schedule not yet delivered.
+
+    The simulator holds one of these for the duration ``sigma_j`` between
+    phase start and the ``ScheduleDelivered`` event; the live master
+    delivers immediately.
+    """
+
+    result: object  # core.phase.PhaseResult
+    index: int
+    expired_before: int
+
+
+class PhaseHooks:
+    """What a concrete runtime must answer for the driver.
+
+    Subclass (or duck-type) and override; :meth:`transform_batch` has an
+    identity default because only runtimes with dynamic processor sets
+    (the live cluster after worker loss) need it.
+    """
+
+    def loads(self, now: float) -> List[float]:
+        """Current per-processor load ``Load_k`` in cost units.
+
+        Return an empty list to signal *no capacity at all* (every live
+        worker dead); the driver then skips the phase entirely.
+        """
+        raise NotImplementedError
+
+    def transform_batch(
+        self, tasks: List[Task], now: float
+    ) -> List[Task]:
+        """Map batch tasks into the scheduler's processor index space."""
+        return tasks
+
+    def deliver_entry(self, entry, phase_index: int, now: float) -> bool:
+        """Physically deliver one schedule entry; True iff it was accepted.
+
+        A declined entry (processor died mid-phase, dispatch-time
+        guarantee re-check failed) is returned to the pending set by the
+        driver and re-enters the batch at the next phase start.
+        """
+        raise NotImplementedError
+
+    def on_task_expired(self, task: Task, now: float) -> None:
+        """Record a task evicted because its deadline is already hopeless."""
+        raise NotImplementedError
+
+
+class PhaseDriver:
+    """Runs the paper's phase loop over any :class:`PhaseHooks` backend."""
+
+    def __init__(self, scheduler: Scheduler, hooks: PhaseHooks) -> None:
+        self.scheduler = scheduler
+        self.hooks = hooks
+        self.batch = Batch()
+        #: Phase summaries in completion order; shared by reference with
+        #: the owning runtime's trace object where one exists.
+        self.phases: List[PhaseTrace] = []
+        self._pending: List[Task] = []
+        self._arrivals: List[Task] = []
+        self._next_arrival = 0
+        self._open: Optional[OpenPhase] = None
+        self._guaranteed_ids: Set[int] = set()
+        self.reschedules = 0
+        self.workers_lost = 0
+        self.total_expired = 0
+
+    # ----- admission --------------------------------------------------------
+
+    def admit(self, tasks: Sequence[Task]) -> None:
+        """Event-driven admission: tasks join the next batch formation."""
+        self._pending.extend(tasks)
+
+    def stage_arrivals(self, tasks: Sequence[Task]) -> None:
+        """Time-driven admission: register the full future arrival stream."""
+        self._arrivals = sorted(
+            tasks, key=lambda t: (t.arrival_time, t.task_id)
+        )
+        self._next_arrival = 0
+
+    def _admit_due(self, now: float) -> None:
+        """Move every staged task whose arrival time has passed to pending."""
+        while self._next_arrival < len(self._arrivals):
+            task = self._arrivals[self._next_arrival]
+            if task.arrival_time > now:
+                break
+            self._pending.append(task)
+            self._next_arrival += 1
+
+    def arrivals_exhausted(self) -> bool:
+        return self._next_arrival >= len(self._arrivals)
+
+    # ----- guarantee accounting and failure remap ---------------------------
+
+    @property
+    def guaranteed_count(self) -> int:
+        """Tasks delivered under a currently unrevoked guarantee."""
+        return len(self._guaranteed_ids)
+
+    def revoke(self, task_id: int) -> None:
+        """Void one guarantee without requeueing (e.g. task died in flight)."""
+        self._guaranteed_ids.discard(task_id)
+
+    def worker_lost(self) -> None:
+        self.workers_lost += 1
+
+    def surrender(self, tasks: Sequence[Task]) -> int:
+        """Failure remap: requeue tasks whose processor was lost.
+
+        Each task's guarantee is revoked — it must re-earn feasibility on
+        the survivors through the normal phase path — and counted as a
+        reschedule.  Returns how many tasks were requeued.
+        """
+        for task in tasks:
+            self._guaranteed_ids.discard(task.task_id)
+            self._pending.append(task)
+        self.reschedules += len(tasks)
+        return len(tasks)
+
+    # ----- the phase loop ---------------------------------------------------
+
+    def open_phase(self, now: float) -> Optional[OpenPhase]:
+        """Form ``Batch(j)``, evict expired tasks, run the search.
+
+        Returns ``None`` when there is nothing schedulable (empty batch
+        after expiry, or the backend reports zero capacity); otherwise the
+        in-flight phase to hand back to :meth:`deliver_phase`.
+        """
+        self._admit_due(now)
+        if self._pending:
+            self.batch.add_arrivals(self._pending)
+            self._pending.clear()
+        expired = self.batch.drop_expired(now)
+        self.total_expired += len(expired)
+        for task in expired:
+            self.hooks.on_task_expired(task, now)
+        if not self.batch:
+            return None
+        loads = self.hooks.loads(now)
+        if not loads:
+            return None  # no capacity; leftovers wait for the next phase
+        batch_tasks = self.hooks.transform_batch(self.batch.edf_order(), now)
+        quantum = self.scheduler.plan_quantum(batch_tasks, loads, now)
+        result = self.scheduler.schedule_phase(
+            batch_tasks, loads, now, quantum
+        )
+        opened = OpenPhase(
+            result=result,
+            index=self.batch.phase_index,
+            expired_before=len(expired),
+        )
+        self._open = opened
+        return opened
+
+    def deliver_phase(self, opened: OpenPhase, now: float) -> PhaseTrace:
+        """Deliver an open phase's schedule through the backend.
+
+        Scheduled tasks leave the batch before delivery; entries the
+        backend declines return to pending (not to the just-advanced
+        batch), exactly like fresh arrivals — they re-enter at the next
+        phase start and run back through the feasibility test.
+        """
+        result = opened.result
+        self._open = None
+        scheduled_ids = result.schedule.task_ids()
+        if scheduled_ids:
+            self.batch.remove_scheduled(scheduled_ids)
+        self.batch.advance_phase()
+        delivered = 0
+        for entry in result.schedule:
+            if self.hooks.deliver_entry(entry, opened.index, now):
+                self._guaranteed_ids.add(entry.task.task_id)
+                delivered += 1
+            else:
+                self._pending.append(entry.task)
+        trace = PhaseTrace(
+            index=opened.index,
+            start=result.phase_start,
+            quantum=result.quantum,
+            time_used=result.time_used,
+            # Batch(j) size at phase start: what was scheduled plus what
+            # rolled over (pending arrivals merge only at phase start).
+            batch_size=len(result.schedule) + len(self.batch),
+            scheduled=len(result.schedule),
+            expired_before=opened.expired_before,
+            dead_end=result.stats.dead_end,
+            complete=result.stats.complete,
+            max_depth=result.stats.max_depth,
+            processors_touched=result.stats.processors_touched,
+            vertices_generated=result.stats.vertices_generated,
+            delivered=delivered,
+        )
+        self.phases.append(trace)
+        return trace
+
+    def run_phase(self, now: float) -> Optional[PhaseTrace]:
+        """Open and immediately deliver one phase (polling runtimes)."""
+        opened = self.open_phase(now)
+        if opened is None:
+            return None
+        return self.deliver_phase(opened, now)
+
+    # ----- termination ------------------------------------------------------
+
+    def has_backlog(self) -> bool:
+        """Anything still owed a scheduling decision?"""
+        return bool(
+            self.batch
+            or self._pending
+            or self._open is not None
+            or not self.arrivals_exhausted()
+        )

@@ -1,0 +1,223 @@
+"""The one report schema every execution backend produces.
+
+A :class:`RunReport` is the outcome of running one scheduler over one
+seeded workload on one backend — simulator, live TCP cluster, or anything
+registered later.  The *exported* fields (everything :meth:`as_dict`
+emits) have identical keys and types regardless of backend, which is what
+lets one experiment sweep both execution modes through the same export
+and figure pipeline; CI asserts the schemas can never drift apart.
+
+Backend-specific artifacts that cannot be schema-stable — the simulator's
+full :class:`~repro.simulator.trace.SimulationTrace`, the live master's
+bound port — ride along in :attr:`RunReport.extras` and are exposed as
+conveniences (:attr:`trace`, :attr:`port`, :attr:`events_dispatched`) but
+never exported.
+
+Every ratio is computed by :func:`repro.metrics.compliance.ratio` — one
+guard, one division, for both backends.
+
+``SimulationResult`` and ``ClusterReport`` are deprecated aliases of
+:class:`RunReport`, kept for one release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List
+
+from ..metrics.compliance import percent, ratio
+from .driver import PhaseTrace
+
+
+@dataclass
+class RunReport:
+    """Outcome of one complete run on any backend."""
+
+    backend: str
+    scheduler_name: str
+    num_workers: int
+    seed: int
+    total_tasks: int
+    guaranteed: int
+    completed: int
+    deadline_hits: int
+    completed_late: int
+    expired: int
+    failed: int
+    guaranteed_violations: int
+    reschedules: int
+    workers_lost: int
+    makespan: float
+    wall_seconds: float
+    phases: List[PhaseTrace] = field(default_factory=list)
+    #: Backend artifacts outside the stable schema (never exported).
+    extras: Dict[str, object] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    # ----- ratios (all via metrics.compliance) ------------------------------
+
+    @property
+    def hit_ratio(self) -> float:
+        """Deadline compliance: fraction of tasks finished by deadline."""
+        return ratio(self.deadline_hits, self.total_tasks)
+
+    @property
+    def hit_percent(self) -> float:
+        return percent(self.deadline_hits, self.total_tasks)
+
+    @property
+    def guarantee_ratio(self) -> float:
+        """Fraction of tasks delivered under an unrevoked guarantee."""
+        return ratio(self.guaranteed, self.total_tasks)
+
+    @property
+    def compliance_ratio(self) -> float:
+        """Deprecated alias of :attr:`hit_ratio` (old ClusterReport name)."""
+        return self.hit_ratio
+
+    @property
+    def makespan_units(self) -> float:
+        """Deprecated alias of :attr:`makespan` (old ClusterReport name)."""
+        return self.makespan
+
+    # ----- phase-level aggregates -------------------------------------------
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+    @property
+    def dead_end_rate(self) -> float:
+        """Fraction of phases that terminated in a dead end."""
+        if not self.phases:
+            return 0.0
+        return sum(1 for p in self.phases if p.dead_end) / len(self.phases)
+
+    @property
+    def mean_depth(self) -> float:
+        """Average schedule depth over productive phases."""
+        productive = [p for p in self.phases if p.scheduled > 0]
+        if not productive:
+            return 0.0
+        return sum(p.max_depth for p in productive) / len(productive)
+
+    @property
+    def mean_processors_touched(self) -> float:
+        """Average distinct processors used per productive phase schedule."""
+        productive = [p for p in self.phases if p.scheduled > 0]
+        if not productive:
+            return 0.0
+        return sum(p.processors_touched for p in productive) / len(productive)
+
+    @property
+    def total_scheduling_time(self) -> float:
+        """Virtual time the host spent inside scheduling phases."""
+        return sum(p.time_used for p in self.phases)
+
+    # ----- backend extras ---------------------------------------------------
+
+    @property
+    def trace(self):
+        """The simulator's full trace (sim backend only)."""
+        try:
+            return self.extras["trace"]
+        except KeyError:
+            raise AttributeError(
+                f"the {self.backend!r} backend records no simulation trace"
+            ) from None
+
+    @property
+    def events_dispatched(self) -> int:
+        """Engine events dispatched (sim backend only; 0 elsewhere)."""
+        return int(self.extras.get("events_dispatched", 0))
+
+    @property
+    def port(self) -> int:
+        """The live master's bound TCP port (cluster backend only)."""
+        try:
+            return int(self.extras["port"])
+        except KeyError:
+            raise AttributeError(
+                f"the {self.backend!r} backend binds no port"
+            ) from None
+
+    # ----- presentation -----------------------------------------------------
+
+    def summary(self) -> str:
+        """One-line human-readable digest used by examples and the CLI."""
+        return (
+            f"{self.scheduler_name}: {self.deadline_hits}/"
+            f"{self.total_tasks} deadlines met "
+            f"({self.hit_percent:.1f}%), "
+            f"{len(self.phases)} phases, makespan {self.makespan:.1f}, "
+            f"dead-end rate {100 * self.dead_end_rate:.1f}%"
+        )
+
+    def render(self) -> str:
+        """Multi-line report used by the CLI (both backends)."""
+        lines = [
+            (
+                f"{self.scheduler_name} on {self.num_workers} workers - "
+                f"{self.backend} backend (seed {self.seed})"
+            ),
+            (
+                f"guarantee ratio:  {self.guarantee_ratio:.3f} "
+                f"({self.guaranteed}/{self.total_tasks} guaranteed)"
+            ),
+            (
+                f"compliance ratio: {self.hit_ratio:.3f} "
+                f"({self.deadline_hits}/{self.total_tasks} met their deadline)"
+            ),
+            (
+                f"completed {self.completed} (late {self.completed_late}), "
+                f"expired {self.expired}, failed {self.failed}, "
+                f"guaranteed-but-missed {self.guaranteed_violations}"
+            ),
+            (
+                f"phases {self.num_phases}, reschedules {self.reschedules}, "
+                f"workers lost {self.workers_lost}"
+            ),
+            (
+                f"makespan {self.makespan:.1f} units "
+                f"({self.wall_seconds:.2f} s wall)"
+            ),
+        ]
+        return "\n".join(lines)
+
+    # ----- export -----------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """The stable, backend-neutral schema (extras excluded).
+
+        Keys *and* value types are identical for every backend; CI's
+        backend-matrix job asserts exactly that.
+        """
+        return {
+            "backend": self.backend,
+            "scheduler_name": self.scheduler_name,
+            "num_workers": self.num_workers,
+            "seed": self.seed,
+            "total_tasks": self.total_tasks,
+            "guaranteed": self.guaranteed,
+            "completed": self.completed,
+            "deadline_hits": self.deadline_hits,
+            "completed_late": self.completed_late,
+            "expired": self.expired,
+            "failed": self.failed,
+            "guaranteed_violations": self.guaranteed_violations,
+            "reschedules": self.reschedules,
+            "workers_lost": self.workers_lost,
+            "makespan": float(self.makespan),
+            "wall_seconds": float(self.wall_seconds),
+            "hit_ratio": self.hit_ratio,
+            "guarantee_ratio": self.guarantee_ratio,
+            "num_phases": self.num_phases,
+            "phases": [asdict(phase) for phase in self.phases],
+        }
+
+
+#: Deprecated aliases, kept for one release.  Old call sites constructing
+#: these by keyword must migrate to the RunReport field names.
+SimulationResult = RunReport
+ClusterReport = RunReport

@@ -1,0 +1,61 @@
+"""The simulator backend: the virtual-clock discrete-event machine.
+
+This is the default backend and the paper's own evaluation vehicle.  It
+builds the seeded database/workload and the named scheduler exactly the
+way :mod:`repro.experiments.runner` always has, runs one
+:class:`~repro.simulator.runtime.DistributedRuntime`, and returns its
+:class:`~repro.runtime.report.RunReport`.
+"""
+
+from __future__ import annotations
+
+from ..observability import get_instrumentation
+from .backend import ExecutionBackend, register_backend
+from .report import RunReport
+
+
+class SimBackend(ExecutionBackend):
+    """Runs a cell on the discrete-event simulator."""
+
+    name = "sim"
+
+    def run_once(
+        self,
+        config,
+        scheduler_name: str,
+        seed: int,
+        *,
+        evaluator=None,
+        quantum_policy=None,
+        validate_phases: bool = False,
+        instrumentation=None,
+    ) -> RunReport:
+        # Imported here, not at module level: the experiment builders
+        # import the backend registry, so the arrow must point one way at
+        # import time.
+        from ..core.affinity import UniformCommunicationModel
+        from ..experiments.runner import build_scheduler, build_workload
+        from ..simulator.runtime import simulate
+
+        comm = UniformCommunicationModel(remote_cost=config.remote_cost)
+        _, tasks = build_workload(config, seed)
+        scheduler = build_scheduler(
+            scheduler_name, config, comm,
+            evaluator=evaluator, quantum_policy=quantum_policy,
+        )
+        obs = (
+            instrumentation
+            if instrumentation is not None
+            else get_instrumentation()
+        )
+        return simulate(
+            scheduler=scheduler,
+            workload=tasks,
+            num_workers=config.num_processors,
+            validate_phases=validate_phases,
+            instrumentation=obs.bind(seed=seed) if obs.enabled else None,
+            seed=seed,
+        )
+
+
+register_backend(SimBackend.name, SimBackend)

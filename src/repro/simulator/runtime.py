@@ -11,19 +11,25 @@ schedules.  The cycle per phase ``j`` (paper Section 4):
 3. search for a feasible (partial) schedule ``S_j`` under that quantum;
 4. at ``t_e = t_s + sigma_j`` deliver ``S_j`` to the ready queues.
 
-Workers execute non-preemptively in delivery order and report completions as
-events.  The runtime records every task's lifecycle for the metrics layer.
+The loop itself lives in the backend-neutral
+:class:`~repro.runtime.driver.PhaseDriver`; this module is the simulator's
+:class:`~repro.runtime.driver.PhaseHooks` implementation — it answers the
+driver's questions (loads, delivery, expiry accounting) in virtual time
+and wires the driver to the discrete-event engine.  Workers execute
+non-preemptively in delivery order and report completions as events.  The
+runtime records every task's lifecycle for the metrics layer.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
 from typing import Iterable, List, Optional
 
 from ..core.scheduler import Scheduler
-from ..core.batch import Batch
 from ..core.task import Task, TaskSet
 from ..observability import Instrumentation, get_instrumentation
+from ..runtime.driver import OpenPhase, PhaseDriver, PhaseHooks
+from ..runtime.report import RunReport, SimulationResult  # noqa: F401
 from .engine import SimulationEngine, SimulationError
 from .events import (
     HostWake,
@@ -38,7 +44,6 @@ from .trace import (
     STATUS_COMPLETED,
     STATUS_EXPIRED,
     STATUS_FAILED,
-    PhaseTrace,
     SimulationTrace,
 )
 
@@ -47,37 +52,7 @@ from .trace import (
 DEFAULT_MAX_EVENTS = 5_000_000
 
 
-@dataclass
-class SimulationResult:
-    """Outcome of one complete on-line run."""
-
-    trace: SimulationTrace
-    scheduler_name: str
-    num_workers: int
-    makespan: float
-    events_dispatched: int
-
-    @property
-    def hit_ratio(self) -> float:
-        return self.trace.hit_ratio()
-
-    @property
-    def phases(self) -> List[PhaseTrace]:
-        return self.trace.phases
-
-    def summary(self) -> str:
-        """One-line human-readable digest used by examples and the CLI."""
-        trace = self.trace
-        return (
-            f"{self.scheduler_name}: {trace.deadline_hits()}/"
-            f"{trace.total_tasks()} deadlines met "
-            f"({100 * trace.hit_ratio():.1f}%), "
-            f"{len(trace.phases)} phases, makespan {self.makespan:.1f}, "
-            f"dead-end rate {100 * trace.dead_end_rate():.1f}%"
-        )
-
-
-class DistributedRuntime:
+class DistributedRuntime(PhaseHooks):
     """Drives one scheduler over one workload on one simulated machine."""
 
     def __init__(
@@ -90,6 +65,7 @@ class DistributedRuntime:
         execution_model: Optional[ExecutionTimeModel] = None,
         failures: Optional[List] = None,
         instrumentation: Optional[Instrumentation] = None,
+        seed: int = 0,
     ) -> None:
         self.scheduler = scheduler
         self.machine = machine
@@ -97,6 +73,7 @@ class DistributedRuntime:
         self.max_events = max_events
         self.validate_phases = validate_phases
         self.execution_model = execution_model
+        self.seed = seed
         # (time, processor) fail-stop crash injections.
         self.failures = list(failures or [])
         for at, processor in self.failures:
@@ -115,11 +92,13 @@ class DistributedRuntime:
         )
         self.engine = SimulationEngine()
         self.trace = SimulationTrace()
-        self.batch = Batch()
-        self._pending: List[Task] = []
+        self.driver = PhaseDriver(scheduler=scheduler, hooks=self)
+        # One phase list, shared by reference: the driver appends, the
+        # trace's aggregate views read.
+        self.trace.phases = self.driver.phases
         self._host_busy = False
         self._wake_pending = False
-        self._last_expired = 0
+        self._open_phase: Optional[OpenPhase] = None
 
         self.engine.subscribe(TaskArrived, self._on_task_arrived)
         self.engine.subscribe(HostWake, self._on_host_wake)
@@ -138,10 +117,47 @@ class DistributedRuntime:
             "runtime_task_transitions", transition=transition
         ).inc()
 
+    # ----- PhaseHooks: the driver's view of the simulated machine ----------
+
+    def loads(self, now: float) -> List[float]:
+        return self.machine.loads(now)
+
+    def on_task_expired(self, task: Task, now: float) -> None:
+        self.trace.records[task.task_id].status = STATUS_EXPIRED
+        if self.obs.enabled:
+            self._task_event(
+                "expired", task.task_id, now, deadline=task.deadline
+            )
+
+    def deliver_entry(self, entry, phase_index: int, now: float) -> bool:
+        worker = self.machine.workers[entry.processor]
+        if worker.failed:
+            # The processor died between phase start and delivery; the
+            # assignment returns to the pending set and is rescheduled on
+            # the survivors through the normal feasibility path.
+            return False
+        record = self.trace.records[entry.task.task_id]
+        record.scheduled_phase = phase_index
+        record.processor = entry.processor
+        record.delivered_at = now
+        actual = resolve_actual_cost(self.execution_model, entry)
+        record.planned_cost = entry.total_cost
+        record.actual_cost = actual
+        worker.deliver(entry, now, actual_cost=actual)
+        if self.obs.enabled:
+            self._task_event(
+                "delivered",
+                entry.task.task_id,
+                now,
+                processor=entry.processor,
+                phase=phase_index,
+            )
+        return True
+
     # ----- event handlers --------------------------------------------------
 
     def _on_task_arrived(self, now: float, event: TaskArrived) -> None:
-        self._pending.append(event.task)
+        self.driver.admit([event.task])
         if self.obs.enabled:
             self._task_event("arrived", event.task.task_id, now)
         self._request_wake(now)
@@ -159,83 +175,27 @@ class DistributedRuntime:
 
     def _start_phase(self, now: float) -> None:
         """Open scheduling phase ``j`` if there is anything to schedule."""
-        if self._pending:
-            self.batch.add_arrivals(self._pending)
-            self._pending.clear()
-        expired = self.batch.drop_expired(now)
-        for task in expired:
-            self.trace.records[task.task_id].status = STATUS_EXPIRED
-            if self.obs.enabled:
-                self._task_event(
-                    "expired", task.task_id, now, deadline=task.deadline
-                )
-        if not self.batch:
+        opened = self.driver.open_phase(now)
+        if opened is None:
             # Nothing schedulable; the host sleeps until the next arrival.
             return
-        loads = self.machine.loads(now)
-        batch_tasks = self.batch.edf_order()
-        quantum = self.scheduler.plan_quantum(batch_tasks, loads, now)
-        result = self.scheduler.schedule_phase(batch_tasks, loads, now, quantum)
         if self.validate_phases:
-            result.validate(self.machine.comm)
+            opened.result.validate(self.machine.comm)
         self._host_busy = True
-        self._last_expired = len(expired)
-        self.engine.schedule_at(result.phase_end, ScheduleDelivered(result))
+        self._open_phase = opened
+        self.engine.schedule_at(
+            opened.result.phase_end, ScheduleDelivered(opened.result)
+        )
 
     def _on_schedule_delivered(self, now: float, event: ScheduleDelivered) -> None:
-        result = event.result
+        opened = self._open_phase
+        self._open_phase = None
         self._host_busy = False
-        phase_index = self.batch.phase_index
-        scheduled_ids = result.schedule.task_ids()
-        if scheduled_ids:
-            self.batch.remove_scheduled(scheduled_ids)
-        self.batch.advance_phase()
-        for entry in result.schedule:
-            worker = self.machine.workers[entry.processor]
-            if worker.failed:
-                # The processor died between phase start and delivery; the
-                # assignment returns to the batch and is rescheduled on the
-                # survivors through the normal feasibility path.
-                self._pending.append(entry.task)
-                continue
-            record = self.trace.records[entry.task.task_id]
-            record.scheduled_phase = phase_index
-            record.processor = entry.processor
-            record.delivered_at = now
-            actual = resolve_actual_cost(self.execution_model, entry)
-            record.planned_cost = entry.total_cost
-            record.actual_cost = actual
-            worker.deliver(entry, now, actual_cost=actual)
-            if self.obs.enabled:
-                self._task_event(
-                    "delivered",
-                    entry.task.task_id,
-                    now,
-                    processor=entry.processor,
-                    phase=phase_index,
-                )
+        self.driver.deliver_phase(opened, now)
         # Kick any worker that was idle and just received work.
-        for entry in result.schedule:
+        for entry in opened.result.schedule:
             if not self.machine.workers[entry.processor].failed:
                 self._maybe_start_worker(entry.processor, now)
-        self.trace.phases.append(
-            PhaseTrace(
-                index=phase_index,
-                start=result.phase_start,
-                quantum=result.quantum,
-                time_used=result.time_used,
-                # Batch(j) size at phase start: what was scheduled plus what
-                # rolled over (pending arrivals merge only at phase start).
-                batch_size=len(result.schedule) + len(self.batch),
-                scheduled=len(result.schedule),
-                expired_before=self._last_expired,
-                dead_end=result.stats.dead_end,
-                complete=result.stats.complete,
-                max_depth=result.stats.max_depth,
-                processors_touched=result.stats.processors_touched,
-                vertices_generated=result.stats.vertices_generated,
-            )
-        )
         self._start_phase(now)
 
     def _maybe_start_worker(self, processor: int, now: float) -> None:
@@ -261,14 +221,19 @@ class DistributedRuntime:
         if worker.failed:
             return
         lost, survivors = worker.fail(now)
+        self.driver.worker_lost()
         if lost is not None:
             record = self.trace.records[lost.task.task_id]
             record.status = STATUS_FAILED
             record.finished_at = None
+            # The guarantee died with the processor; the task is terminal
+            # and cannot be requeued (non-preemptive, partially executed).
+            self.driver.revoke(lost.task.task_id)
             if self.obs.enabled:
                 self._task_event(
                     "failed", lost.task.task_id, now, processor=event.processor
                 )
+        surrendered: List[Task] = []
         for work in survivors:
             # Undelivered work returns to the host for rescheduling on the
             # surviving processors, through the normal feasibility path.
@@ -278,7 +243,8 @@ class DistributedRuntime:
             record.delivered_at = None
             record.planned_cost = None
             record.actual_cost = None
-            self._pending.append(work.task)
+            surrendered.append(work.task)
+        self.driver.surrender(surrendered)
         self._request_wake(now)
 
     def _on_task_finished(self, now: float, event: TaskFinished) -> None:
@@ -307,8 +273,8 @@ class DistributedRuntime:
 
     # ----- public API ------------------------------------------------------
 
-    def run(self) -> SimulationResult:
-        """Execute the full workload; returns the aggregated result."""
+    def run(self) -> RunReport:
+        """Execute the full workload; returns the aggregated report."""
         self.scheduler.reset()
         obs = self.obs
         # Lend the run's instrumentation to the scheduler so phase spans and
@@ -323,7 +289,8 @@ class DistributedRuntime:
             if lend_obs:
                 self.scheduler.instrumentation = None
 
-    def _run(self, obs: Instrumentation) -> SimulationResult:
+    def _run(self, obs: Instrumentation) -> RunReport:
+        start_wall = time.monotonic()
         if obs.enabled:
             obs.emit(
                 "run_start",
@@ -336,18 +303,37 @@ class DistributedRuntime:
         for at, processor in self.failures:
             self.engine.schedule_at(at, ProcessorFailed(processor))
         self.engine.run(max_events=self.max_events)
-        if self.batch or self._pending:
+        if self.driver.has_backlog():
             raise SimulationError(
                 "simulation drained with tasks still unscheduled; "
                 "this indicates a stalled host loop"
             )
         self.trace.finished_at = self.engine.now
-        result = SimulationResult(
-            trace=self.trace,
+        trace = self.trace
+        completed = len(trace.completed())
+        hits = trace.deadline_hits()
+        report = RunReport(
+            backend="sim",
             scheduler_name=self.scheduler.name,
             num_workers=self.machine.num_workers,
+            seed=self.seed,
+            total_tasks=trace.total_tasks(),
+            guaranteed=self.driver.guaranteed_count,
+            completed=completed,
+            deadline_hits=hits,
+            completed_late=completed - hits,
+            expired=len(trace.expired()),
+            failed=len(trace.failed()),
+            guaranteed_violations=len(trace.scheduled_but_missed()),
+            reschedules=self.driver.reschedules,
+            workers_lost=self.driver.workers_lost,
             makespan=self.engine.now,
-            events_dispatched=self.engine.events_dispatched,
+            wall_seconds=time.monotonic() - start_wall,
+            phases=trace.phases,
+            extras={
+                "trace": trace,
+                "events_dispatched": self.engine.events_dispatched,
+            },
         )
         if obs.enabled:
             obs.emit(
@@ -364,7 +350,7 @@ class DistributedRuntime:
                 "runtime_events_dispatched"
             ).inc(self.engine.events_dispatched)
             obs.metrics.histogram("runtime_makespan").observe(self.engine.now)
-        return result
+        return report
 
 
 def simulate(
@@ -376,12 +362,14 @@ def simulate(
     execution_model: Optional[ExecutionTimeModel] = None,
     failures: Optional[List] = None,
     instrumentation: Optional[Instrumentation] = None,
-) -> SimulationResult:
+    seed: int = 0,
+) -> RunReport:
     """Convenience wrapper: build the machine and run one simulation.
 
     ``comm`` defaults to the scheduler's own communication model when it has
     one (all built-in schedulers do), keeping the scheduler's view of costs
-    and the machine's actual costs consistent.
+    and the machine's actual costs consistent.  ``seed`` is recorded in the
+    report for provenance only — the workload is whatever the caller built.
     """
     if comm is None:
         comm = getattr(scheduler, "comm", None)
@@ -398,5 +386,6 @@ def simulate(
         execution_model=execution_model,
         failures=failures,
         instrumentation=instrumentation,
+        seed=seed,
     )
     return runtime.run()

@@ -14,10 +14,15 @@ from typing import Dict, List, Optional
 from ..core.feasibility import EPSILON
 from ..core.task import Task
 
-#: Task terminal states.
-STATUS_COMPLETED = "completed"
-STATUS_EXPIRED = "expired"  # dropped from a batch, deadline already hopeless
-STATUS_FAILED = "failed"  # in flight on a processor that crashed
+# Canonical homes since the runtime unification; re-exported here because
+# this module is where simulator-facing code has always imported them.
+from ..metrics.compliance import (  # noqa: F401
+    STATUS_COMPLETED,
+    STATUS_EXPIRED,
+    STATUS_FAILED,
+    ratio as _ratio,
+)
+from ..runtime.driver import PhaseTrace  # noqa: F401
 
 
 @dataclass
@@ -66,28 +71,6 @@ class TaskRecord:
 
 
 @dataclass
-class PhaseTrace:
-    """Summary of one scheduling phase, fed by the runtime."""
-
-    index: int
-    start: float
-    quantum: float
-    time_used: float
-    batch_size: int
-    scheduled: int
-    expired_before: int
-    dead_end: bool
-    complete: bool
-    max_depth: int
-    processors_touched: int
-    vertices_generated: int
-
-    @property
-    def end(self) -> float:
-        return self.start + self.time_used
-
-
-@dataclass
 class SimulationTrace:
     """All records of a run; the single artifact metrics code consumes."""
 
@@ -121,9 +104,7 @@ class SimulationTrace:
 
     def hit_ratio(self) -> float:
         """Deadline compliance: fraction of tasks finished by their deadline."""
-        if not self.records:
-            return 0.0
-        return self.deadline_hits() / len(self.records)
+        return _ratio(self.deadline_hits(), len(self.records))
 
     def scheduled_but_missed(self) -> List[TaskRecord]:
         """Tasks that were scheduled yet finished late.

@@ -2,30 +2,33 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.cluster import ClusterReport, remap_tasks
-from repro.core import make_task
+from repro.core import RTSADS, UniformCommunicationModel, make_task
 
 
 def make_report(**overrides) -> ClusterReport:
     defaults = dict(
+        backend="cluster",
         scheduler_name="rtsads",
         num_workers=4,
+        seed=1,
         total_tasks=100,
         guaranteed=90,
         completed=88,
         deadline_hits=88,
         completed_late=0,
         expired=12,
+        failed=0,
         guaranteed_violations=0,
         reschedules=0,
         workers_lost=0,
-        phases=10,
-        makespan_units=5000.0,
+        makespan=5000.0,
         wall_seconds=5.0,
-        port=45000,
-        seed=1,
+        extras={"port": 45000},
     )
     defaults.update(overrides)
     return ClusterReport(**defaults)
@@ -64,6 +67,119 @@ class TestRemapTasks:
         assert remapped.processing_time == task.processing_time
         assert remapped.arrival_time == task.arrival_time
         assert remapped.deadline == task.deadline
+
+    def test_all_workers_dead_empties_every_affinity(self):
+        """With no survivors the index space is empty; remap degrades every
+        affinity set to all-remote rather than raising.  (The master never
+        schedules in this state — loads() returns [] and the driver skips
+        the phase — but remap itself must stay total.)"""
+        tasks = [
+            make_task(0, 10.0, 100.0, affinity=[0, 1, 2]),
+            make_task(1, 10.0, 100.0),  # already affinity-free
+        ]
+        remapped = remap_tasks(tasks, alive=[])
+        assert all(t.affinity == frozenset() for t in remapped)
+
+    def test_slack_that_cannot_survive_remapping_is_not_guaranteed(self):
+        """A task whose only resident replica died must pay the remote
+        cost; when its deadline cannot absorb that, the feasibility search
+        on the survivors must leave it unscheduled (it will expire) rather
+        than hand out a guarantee it cannot keep."""
+        comm = UniformCommunicationModel(remote_cost=400.0)
+        scheduler = RTSADS(comm=comm, per_vertex_cost=0.005)
+        # Feasible while worker 1 lives: cost 10, deadline 50.  Remote it
+        # costs 10 + 400 = 410 > 50.
+        task = make_task(0, 10.0, 50.0, affinity=[1])
+        (remapped,) = remap_tasks([task], alive=[0, 2])
+        assert remapped.affinity == frozenset()
+        loads = [0.0, 0.0]
+        quantum = scheduler.plan_quantum([remapped], loads, now=0.0)
+        result = scheduler.schedule_phase([remapped], loads, 0.0, quantum)
+        assert task.task_id not in result.schedule.task_ids()
+
+    def test_remap_composes_across_successive_failures(self):
+        """Losing workers one at a time must land on the same affinities as
+        losing them all at once: remapping through an intermediate alive
+        set, then remapping the survivors' *positions*, equals remapping
+        straight to the final alive set.  Seeded like the differential
+        suite so failures reproduce."""
+        for seed in range(10):
+            rng = random.Random(1998 + seed)
+            workers = list(range(6))
+            tasks = [
+                make_task(
+                    i,
+                    10.0,
+                    500.0,
+                    affinity=rng.sample(workers, rng.randint(0, 4)),
+                )
+                for i in range(20)
+            ]
+            alive_first = sorted(rng.sample(workers, 4))
+            alive_final = sorted(rng.sample(alive_first, 2))
+            positions = [alive_first.index(w) for w in alive_final]
+
+            stepwise = remap_tasks(
+                remap_tasks(tasks, alive=alive_first), alive=positions
+            )
+            direct = remap_tasks(tasks, alive=alive_final)
+            assert stepwise == direct, f"seed {1998 + seed}"
+
+
+class TestMidPhaseDisconnect:
+    def test_declined_dispatch_requeues_and_reschedules_on_survivors(self):
+        """A worker dying between phase start and dispatch: deliver_entry
+        returns False for its entries, the driver requeues them, and the
+        next phase (with the dead worker remapped away) re-guarantees
+        them.  This is the master's decline path in miniature."""
+        from repro.runtime import PhaseDriver, PhaseHooks
+
+        class FlakyWorkerHooks(PhaseHooks):
+            def __init__(self):
+                self.alive = [0, 1]
+                self.dead_processor = None
+                self.dispatched = []
+
+            def loads(self, now):
+                return [0.0] * len(self.alive)
+
+            def transform_batch(self, tasks, now):
+                return remap_tasks(tasks, self.alive)
+
+            def deliver_entry(self, entry, phase_index, now):
+                if entry.processor == self.dead_processor:
+                    return False
+                self.dispatched.append(entry.task.task_id)
+                return True
+
+            def on_task_expired(self, task, now):
+                raise AssertionError("nothing should expire here")
+
+        scheduler = RTSADS(
+            comm=UniformCommunicationModel(remote_cost=5.0),
+            per_vertex_cost=0.01,
+        )
+        hooks = FlakyWorkerHooks()
+        driver = PhaseDriver(scheduler=scheduler, hooks=hooks)
+        driver.admit(
+            [make_task(i, 10.0, 1000.0, affinity=[i % 2]) for i in range(4)]
+        )
+
+        hooks.dead_processor = 1  # dies mid-phase: dispatches decline
+        first = driver.run_phase(now=0.0)
+        assert first.scheduled == 4
+        assert first.delivered < 4
+        declined = first.scheduled - first.delivered
+        assert driver.has_backlog()
+
+        # The master notices the loss before the next phase: survivors
+        # only, and the declined tasks re-enter through the normal path.
+        hooks.alive = [0]
+        hooks.dead_processor = None
+        second = driver.run_phase(now=first.end)
+        assert second.delivered == declined
+        assert driver.guaranteed_count == 4
+        assert not driver.has_backlog()
 
 
 class TestClusterReport:

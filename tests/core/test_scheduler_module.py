@@ -135,6 +135,7 @@ class TestPublicAPI:
         import repro.database
         import repro.experiments
         import repro.metrics
+        import repro.runtime
         import repro.simulator
         import repro.workload
 
@@ -144,6 +145,7 @@ class TestPublicAPI:
             repro.database,
             repro.experiments,
             repro.metrics,
+            repro.runtime,
             repro.simulator,
             repro.workload,
         ):

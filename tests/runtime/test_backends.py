@@ -1,0 +1,127 @@
+"""The backend registry and the runner's dispatch through it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_once
+from repro.runtime import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    RunReport,
+    get_backend,
+    register_backend,
+)
+
+
+class TestRegistry:
+    def test_builtins_resolve_lazily_by_name(self):
+        assert set(BACKEND_NAMES) == {"sim", "cluster"}
+        backend = get_backend("sim")
+        assert isinstance(backend, ExecutionBackend)
+        assert backend.name == "sim"
+
+    def test_none_means_sim(self):
+        assert get_backend(None).name == "sim"
+
+    def test_instances_pass_through_unwrapped(self):
+        backend = get_backend("sim")
+        assert get_backend(backend) is backend
+
+    def test_unknown_name_lists_the_known_ones(self):
+        with pytest.raises(ValueError, match="unknown backend 'quantum'"):
+            get_backend("quantum")
+
+    def test_registering_a_custom_backend(self):
+        class NullBackend(ExecutionBackend):
+            name = "null-test"
+
+            def run_once(self, config, scheduler_name, seed, **kwargs):
+                raise AssertionError("never run")
+
+        register_backend(NullBackend.name, NullBackend)
+        assert isinstance(get_backend("null-test"), NullBackend)
+
+    def test_empty_name_is_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            register_backend("", lambda: None)
+
+
+class RecordingBackend(ExecutionBackend):
+    """Captures dispatch arguments instead of running anything."""
+
+    name = "recording-test"
+
+    def __init__(self):
+        self.calls = []
+
+    def run_once(self, config, scheduler_name, seed, **kwargs):
+        self.calls.append((config, scheduler_name, seed))
+        return RunReport(
+            backend=self.name,
+            scheduler_name=scheduler_name,
+            num_workers=config.num_processors,
+            seed=seed,
+            total_tasks=0,
+            guaranteed=0,
+            completed=0,
+            deadline_hits=0,
+            completed_late=0,
+            expired=0,
+            failed=0,
+            guaranteed_violations=0,
+            reschedules=0,
+            workers_lost=0,
+            makespan=0.0,
+            wall_seconds=0.0,
+        )
+
+
+class TestRunnerDispatch:
+    def test_run_once_follows_config_backend(self):
+        backend = RecordingBackend()
+        register_backend(backend.name, lambda: backend)
+        config = ExperimentConfig.quick(runs=1).with_backend(backend.name)
+        report = run_once(config, "rtsads", 7)
+        assert backend.calls == [(config, "rtsads", 7)]
+        assert report.backend == backend.name
+
+    def test_explicit_backend_overrides_config(self):
+        backend = RecordingBackend()
+        config = ExperimentConfig.quick(runs=1)  # backend stays "sim"
+        report = run_once(config, "dcols", 3, backend=backend)
+        assert backend.calls == [(config, "dcols", 3)]
+        assert report.scheduler_name == "dcols"
+
+    def test_default_path_still_runs_the_simulator(self):
+        config = ExperimentConfig.quick(
+            num_transactions=20, runs=1, num_processors=2
+        )
+        report = run_once(config, "rtsads", config.base_seed)
+        assert report.backend == "sim"
+        assert report.total_tasks == 20
+        assert report.trace.total_tasks() == 20  # sim extra present
+
+
+class TestExperimentConfigBackend:
+    def test_default_and_override(self):
+        config = ExperimentConfig.quick()
+        assert config.backend == "sim"
+        assert config.with_backend("cluster").backend == "cluster"
+
+    def test_empty_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ExperimentConfig.quick(backend="")
+
+
+class TestClusterBackendContract:
+    def test_scheduler_overrides_are_refused_not_ignored(self):
+        from repro.runtime.live import ClusterBackend
+
+        with pytest.raises(NotImplementedError, match="simulator-only"):
+            ClusterBackend().run_once(
+                ExperimentConfig.quick(runs=1),
+                "rtsads",
+                1,
+                evaluator=object(),
+            )

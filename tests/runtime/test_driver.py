@@ -1,0 +1,181 @@
+"""The backend-neutral phase driver: the loop both runtimes delegate to."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.core import RTSADS, Task, UniformCommunicationModel, make_task
+from repro.runtime import PhaseDriver, PhaseHooks
+
+
+class RecordingHooks(PhaseHooks):
+    """A minimal in-memory backend: flat loads, scripted acceptance."""
+
+    def __init__(self, num_processors: int = 2):
+        self.num_processors = num_processors
+        self.capacity = True
+        self.declined_ids: set = set()
+        self.delivered: List[int] = []
+        self.expired: List[int] = []
+
+    def loads(self, now: float) -> List[float]:
+        if not self.capacity:
+            return []
+        return [0.0] * self.num_processors
+
+    def deliver_entry(self, entry, phase_index: int, now: float) -> bool:
+        if entry.task.task_id in self.declined_ids:
+            return False
+        self.delivered.append(entry.task.task_id)
+        return True
+
+    def on_task_expired(self, task: Task, now: float) -> None:
+        self.expired.append(task.task_id)
+
+
+def make_driver(num_processors: int = 2):
+    scheduler = RTSADS(
+        comm=UniformCommunicationModel(remote_cost=5.0),
+        per_vertex_cost=0.01,
+    )
+    hooks = RecordingHooks(num_processors=num_processors)
+    return PhaseDriver(scheduler=scheduler, hooks=hooks), hooks
+
+
+def easy_tasks(n: int = 4) -> List[Task]:
+    """Comfortably feasible: loose deadlines, affinity everywhere."""
+    return [
+        make_task(i, 10.0, 1000.0, affinity=[0, 1]) for i in range(n)
+    ]
+
+
+class TestAdmissionStyles:
+    def test_event_driven_admit_feeds_next_phase(self):
+        driver, hooks = make_driver()
+        driver.admit(easy_tasks(3))
+        trace = driver.run_phase(now=0.0)
+        assert trace is not None
+        assert trace.scheduled == 3
+        assert trace.delivered == 3
+        assert sorted(hooks.delivered) == [0, 1, 2]
+        assert driver.guaranteed_count == 3
+        assert not driver.has_backlog()
+
+    def test_staged_arrivals_admit_only_when_due(self):
+        driver, hooks = make_driver()
+        early = make_task(0, 10.0, 1000.0, affinity=[0], arrival_time=0.0)
+        late = make_task(1, 10.0, 2000.0, affinity=[1], arrival_time=50.0)
+        driver.stage_arrivals([late, early])  # driver sorts by arrival
+        trace = driver.run_phase(now=0.0)
+        assert trace.scheduled == 1
+        assert hooks.delivered == [0]
+        assert not driver.arrivals_exhausted()
+        assert driver.has_backlog()  # task 1 still owed a decision
+        trace = driver.run_phase(now=60.0)
+        assert trace.scheduled == 1
+        assert hooks.delivered == [0, 1]
+        assert driver.arrivals_exhausted()
+        assert not driver.has_backlog()
+
+
+class TestExpiry:
+    def test_hopeless_deadline_is_evicted_through_the_hook(self):
+        driver, hooks = make_driver()
+        doomed = make_task(0, 10.0, 5.0, affinity=[0])
+        fine = make_task(1, 10.0, 1000.0, affinity=[1])
+        driver.admit([doomed, fine])
+        trace = driver.run_phase(now=100.0)  # deadline 5 already past
+        assert hooks.expired == [0]
+        assert driver.total_expired == 1
+        assert trace.expired_before == 1
+        assert trace.scheduled == 1
+
+    def test_everything_expired_yields_no_phase(self):
+        driver, hooks = make_driver()
+        driver.admit([make_task(0, 10.0, 5.0, affinity=[0])])
+        assert driver.run_phase(now=100.0) is None
+        assert hooks.expired == [0]
+        assert not driver.has_backlog()
+
+
+class TestDelivery:
+    def test_declined_entry_requeues_as_pending(self):
+        """A mid-phase decline (dead worker, failed dispatch re-check)
+        returns the task to pending; it re-enters at the next phase."""
+        driver, hooks = make_driver()
+        hooks.declined_ids = {1}
+        driver.admit(easy_tasks(3))
+        trace = driver.run_phase(now=0.0)
+        assert trace.scheduled == 3
+        assert trace.delivered == 2
+        assert driver.guaranteed_count == 2
+        assert driver.has_backlog()
+        hooks.declined_ids = set()
+        trace = driver.run_phase(now=trace.end)
+        assert trace.delivered == 1
+        assert 1 in hooks.delivered
+        assert driver.guaranteed_count == 3
+        assert not driver.has_backlog()
+
+    def test_zero_capacity_skips_phase_and_keeps_batch(self):
+        driver, hooks = make_driver()
+        hooks.capacity = False
+        driver.admit(easy_tasks(2))
+        assert driver.run_phase(now=0.0) is None
+        assert driver.has_backlog()
+        hooks.capacity = True
+        trace = driver.run_phase(now=1.0)
+        assert trace.delivered == 2
+        assert not driver.has_backlog()
+
+    def test_open_phase_counts_as_backlog_until_delivered(self):
+        driver, hooks = make_driver()
+        driver.admit(easy_tasks(1))
+        opened = driver.open_phase(now=0.0)
+        assert opened is not None
+        assert driver.has_backlog()
+        driver.deliver_phase(opened, now=opened.result.phase_end)
+        assert not driver.has_backlog()
+
+
+class TestFailureRemap:
+    def test_surrender_revokes_guarantees_and_requeues(self):
+        driver, hooks = make_driver()
+        tasks = easy_tasks(3)
+        driver.admit(tasks)
+        driver.run_phase(now=0.0)
+        assert driver.guaranteed_count == 3
+
+        driver.worker_lost()
+        driver.surrender(tasks[:2])
+        assert driver.workers_lost == 1
+        assert driver.reschedules == 2
+        assert driver.guaranteed_count == 1
+        assert driver.has_backlog()
+
+        trace = driver.run_phase(now=10.0)
+        assert trace.delivered == 2
+        assert driver.guaranteed_count == 3
+
+    def test_revoke_voids_without_requeueing(self):
+        driver, hooks = make_driver()
+        driver.admit(easy_tasks(1))
+        driver.run_phase(now=0.0)
+        driver.revoke(0)
+        assert driver.guaranteed_count == 0
+        assert not driver.has_backlog()
+
+
+class TestTrace:
+    def test_phase_indices_and_batch_sizes_accumulate(self):
+        driver, hooks = make_driver()
+        driver.admit(easy_tasks(2))
+        first = driver.run_phase(now=0.0)
+        driver.admit(easy_tasks(2)[:1])
+        second = driver.run_phase(now=first.end)
+        assert [p.index for p in driver.phases] == [first.index, second.index]
+        assert second.index == first.index + 1
+        assert first.batch_size == 2
+        assert first.end == pytest.approx(first.start + first.time_used)
