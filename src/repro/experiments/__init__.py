@@ -1,4 +1,10 @@
-"""Experiment harness: configs, runners, and figure reproductions."""
+"""Experiment harness: configs, runners, sweeps, and figure reproductions.
+
+The public surface: :class:`ExperimentConfig` describes a cell,
+:func:`run_once`/:func:`run_cell` execute it, :func:`run_grid` fans whole
+grids over worker processes with per-cell result caching, and the
+``figure5``/``figure6``/... builders reproduce the paper's evaluation.
+"""
 
 from .config import (
     PROCESSOR_SWEEP,
@@ -35,11 +41,29 @@ from .runner import (
     run_cell,
     run_once,
 )
+from .sweep import (
+    CellRecord,
+    PortPool,
+    SweepCache,
+    SweepCell,
+    SweepOutcome,
+    SweepStats,
+    config_digest,
+    run_grid,
+)
 
 __all__ = [
     "AblationResult",
+    "CellRecord",
     "CellResult",
     "ExperimentConfig",
+    "PortPool",
+    "SweepCache",
+    "SweepCell",
+    "SweepOutcome",
+    "SweepStats",
+    "config_digest",
+    "run_grid",
     "LaxitySweepResult",
     "OverheadResult",
     "PROCESSOR_SWEEP",

@@ -1,7 +1,14 @@
-"""``python -m repro.experiments`` entry point."""
+"""``python -m repro.experiments`` entry point.
+
+The main guard matters here: the parallel sweep engine spawns worker
+processes, and ``multiprocessing``'s spawn bootstrap re-imports the
+parent's entry module in every child — without the guard each worker
+would re-run the CLI instead of executing its cells.
+"""
 
 import sys
 
 from .cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

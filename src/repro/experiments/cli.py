@@ -9,6 +9,12 @@ Examples::
     python -m repro.experiments ablate-quantum --quick
     python -m repro.experiments all --quick
 
+Parallel sweeps (see EXPERIMENTS.md "Parallel sweeps" appendix)::
+
+    python -m repro.experiments fig5 --quick --jobs 4
+    python -m repro.experiments fig5 --quick --jobs 4 --resume
+    python -m repro.experiments fig5 --quick --jobs 4 --export fig5.json
+
 Observability (see EXPERIMENTS.md appendix for the schemas)::
 
     python -m repro.experiments fig5 --quick --verbose
@@ -21,7 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from dataclasses import replace
+from dataclasses import asdict, replace
 from typing import List, Optional
 
 from ..observability import (
@@ -32,6 +38,7 @@ from ..observability import (
 )
 from ..runtime import BACKEND_NAMES
 from .config import ExperimentConfig
+from .sweep import DEFAULT_CACHE_DIR
 from .extensions import (
     ablation_interconnect,
     extension_load_sweep,
@@ -72,6 +79,7 @@ CLUSTER_COMMAND = "cluster"
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (kept separate so tests can drive it)."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
@@ -118,6 +126,51 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "execution backend for every cell: 'sim' (virtual-clock "
             "simulator, the default) or 'cluster' (live TCP processes)"
+        ),
+    )
+    sweeps = parser.add_argument_group(
+        "parallel sweeps",
+        "fan cells over worker processes and cache finished cells "
+        "(results are byte-identical for every combination of these flags)",
+    )
+    sweeps.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        help=(
+            "worker processes for independent cells (default 1 = serial; "
+            f"implies caching under {DEFAULT_CACHE_DIR} unless --no-cache)"
+        ),
+    )
+    sweeps.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "cache finished cells under DIR so re-runs skip them "
+            f"(default {DEFAULT_CACHE_DIR} when --jobs/--resume is given, "
+            "otherwise off)"
+        ),
+    )
+    caching = sweeps.add_mutually_exclusive_group()
+    caching.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="never read or write the cell cache, even with --jobs",
+    )
+    caching.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted sweep: re-run only cells missing from "
+            "the cache (implies caching)"
+        ),
+    )
+    sweeps.add_argument(
+        "--export",
+        metavar="PATH",
+        help=(
+            "also write the figure's data as JSON to PATH "
+            "(fig5, fig6, laxity only; byte-stable across --jobs/--resume)"
         ),
     )
     verbosity = parser.add_mutually_exclusive_group()
@@ -216,11 +269,37 @@ def write_metrics_snapshot(
         handle.write("\n")
 
 
+def sweep_execution_from_args(args: argparse.Namespace) -> dict:
+    """The (jobs, cache_dir, resume) overrides the sweep flags imply.
+
+    Caching policy: ``--cache-dir`` always enables it; ``--jobs N`` and
+    ``--resume`` turn it on under :data:`DEFAULT_CACHE_DIR`; ``--no-cache``
+    forces it off; and a plain serial invocation leaves it off entirely, so
+    the default CLI run touches nothing on disk.
+    """
+    jobs = args.jobs if args.jobs is not None else 1
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = args.cache_dir
+    elif jobs > 1 or args.resume:
+        cache_dir = DEFAULT_CACHE_DIR
+    else:
+        cache_dir = None
+    return {"jobs": jobs, "cache_dir": cache_dir, "resume": args.resume}
+
+
 def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    """Build the run's :class:`ExperimentConfig` from parsed CLI flags.
+
+    Starts from the chosen scale (``--paper`` / ``--quick``), applies the
+    generic workload overrides, then the sweep-execution knobs from
+    :func:`sweep_execution_from_args`.
+    """
     config = (
         ExperimentConfig.paper() if args.paper else ExperimentConfig.quick()
     )
-    overrides = {}
+    overrides = dict(sweep_execution_from_args(args))
     if args.runs is not None:
         overrides["runs"] = args.runs
     if args.transactions is not None:
@@ -238,34 +317,66 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     return replace(config, **overrides) if overrides else config
 
 
+#: Experiment name -> builder returning a result object with ``.render()``.
+EXPERIMENT_BUILDERS = {
+    "fig5": figure5,
+    "fig6": figure6,
+    "laxity": laxity_sweep,
+    "overhead": overhead_table,
+    "ablate-quantum": ablation_quantum,
+    "ablate-cost": ablation_cost,
+    "ablate-representation": ablation_representation,
+    "ablate-interconnect": ablation_interconnect,
+    "ablate-memory": ablation_memory,
+    "reclaiming": extension_reclaiming,
+    "load-sweep": extension_load_sweep,
+    "write-mix": extension_write_mix,
+    "failures": extension_failures,
+}
+
+
+def build_experiment(name: str, config: ExperimentConfig):
+    """Run one experiment by CLI name and return its result object."""
+    try:
+        builder = EXPERIMENT_BUILDERS[name]
+    except KeyError:
+        raise ValueError(f"unknown experiment {name!r}") from None
+    return builder(config)
+
+
 def run_experiment(name: str, config: ExperimentConfig) -> str:
-    if name == "fig5":
-        return figure5(config).render()
-    if name == "fig6":
-        return figure6(config).render()
-    if name == "laxity":
-        return laxity_sweep(config).render()
-    if name == "overhead":
-        return overhead_table(config).render()
-    if name == "ablate-quantum":
-        return ablation_quantum(config).render()
-    if name == "ablate-cost":
-        return ablation_cost(config).render()
-    if name == "ablate-representation":
-        return ablation_representation(config).render()
-    if name == "ablate-interconnect":
-        return ablation_interconnect(config).render()
-    if name == "ablate-memory":
-        return ablation_memory(config).render()
-    if name == "reclaiming":
-        return extension_reclaiming(config).render()
-    if name == "load-sweep":
-        return extension_load_sweep(config).render()
-    if name == "write-mix":
-        return extension_write_mix(config).render()
-    if name == "failures":
-        return extension_failures(config).render()
-    raise ValueError(f"unknown experiment {name!r}")
+    """Run one experiment by CLI name and return its printable report."""
+    return build_experiment(name, config).render()
+
+
+def export_figure_json(path: str, name: str, result) -> None:
+    """Write one experiment's figure data as canonical JSON.
+
+    Supports results carrying a ``figure`` (fig5/fig6 sweeps) and the
+    laxity result's per-SF sweep dict.  The document is dumped with sorted
+    keys and a fixed indent, and dataclass floats serialize via ``repr``,
+    so two runs that computed identical values produce byte-identical
+    files — this is what CI's ``sweep-smoke`` job compares across
+    ``--jobs`` counts.
+    """
+    if hasattr(result, "figure"):
+        document = {"experiment": name, "figure": asdict(result.figure)}
+    elif hasattr(result, "sweeps"):
+        document = {
+            "experiment": name,
+            "figures": {
+                f"SF={sf:g}": asdict(result.sweeps[sf].figure)
+                for sf in sorted(result.sweeps)
+            },
+        }
+    else:
+        raise ValueError(
+            f"experiment {name!r} has no figure data to export; "
+            "--export supports fig5, fig6, and laxity"
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def cluster_config_from_args(
@@ -348,24 +459,40 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    """Entry point of the ``repro-experiments`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.experiment == CLUSTER_COMMAND:
         return run_cluster(args)
+    if args.export and args.experiment not in ("fig5", "fig6", "laxity"):
+        parser.error("--export requires fig5, fig6, or laxity")
     config = config_from_args(args)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    def run_all() -> None:
+        """Run and print every selected experiment, exporting if asked."""
+        for name in names:
+            result = build_experiment(name, config)
+            print(result.render())
+            print()
+            if args.export:
+                export_figure_json(args.export, name, result)
+
     obs = build_instrumentation(args)
     if obs is None:
-        for name in names:
-            print(run_experiment(name, config))
-            print()
+        run_all()
         return 0
     try:
         with instrumented(obs):
             for name in names:
                 obs.logger.info("experiment start", experiment=name)
                 with obs.span("experiment", experiment=name):
-                    print(run_experiment(name, config))
+                    result = build_experiment(name, config)
+                    print(result.render())
                 print()
+                if args.export:
+                    export_figure_json(args.export, name, result)
+                    obs.logger.info("figure exported", path=args.export)
         if args.metrics_out:
             write_metrics_snapshot(args.metrics_out, obs, names)
             obs.logger.info("metrics written", path=args.metrics_out)

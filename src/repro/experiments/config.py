@@ -11,13 +11,25 @@ drives the result shapes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import List, Tuple
+from dataclasses import dataclass, fields, replace
+from typing import Dict, List, Optional, Tuple
+
+#: Fields describing *how* a sweep executes (parallelism, caching) rather
+#: than *what* it computes.  They are excluded from
+#: :meth:`ExperimentConfig.cache_fields`, so changing them can never
+#: invalidate cached results — ``--jobs 4`` reuses cells computed serially.
+EXECUTION_FIELDS = ("jobs", "cache_dir", "resume")
 
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """One experiment cell: workload + machine + scheduler cost model."""
+    """One experiment cell: workload + machine + scheduler cost model.
+
+    Frozen and built from plain picklable types, so a config can cross a
+    ``multiprocessing`` spawn boundary unchanged (the parallel sweep engine
+    relies on this).  All cost/time fields are in virtual quanta (one
+    tuple-checking iteration = 1.0 unit), never wall seconds.
+    """
 
     # --- workload (paper Section 5.1) ---
     num_transactions: int = 1000
@@ -57,7 +69,19 @@ class ExperimentConfig:
     # registered by downstream code.
     backend: str = "sim"
 
+    # --- sweep execution (see experiments/sweep.py) ---
+    # How the cell grid executes: worker processes to fan cells across
+    # (1 = serial, in-process), where cached cell results live (None =
+    # no cache), and whether a sweep is explicitly resuming an earlier,
+    # interrupted invocation.  None of these affect what is computed —
+    # they are excluded from the cache key (EXECUTION_FIELDS) and results
+    # are byte-identical for every (jobs, cache_dir, resume) combination.
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    resume: bool = False
+
     def __post_init__(self) -> None:
+        """Reject configurations no experiment could meaningfully run."""
         if self.num_transactions <= 0:
             raise ValueError("num_transactions must be positive")
         if self.slack_factor <= 0:
@@ -74,6 +98,13 @@ class ExperimentConfig:
             raise ValueError("runs must be positive")
         if not self.backend:
             raise ValueError("backend must be a non-empty registry name")
+        if self.jobs <= 0:
+            raise ValueError("jobs must be positive (1 = serial)")
+        if self.resume and self.cache_dir is None:
+            raise ValueError(
+                "resume requires a cache_dir: without cached cells there "
+                "is nothing to resume from"
+            )
 
     # ----- canonical scales --------------------------------------------------
 
@@ -118,20 +149,66 @@ class ExperimentConfig:
         return float(self.records_per_subdb)
 
     def with_processors(self, num_processors: int) -> "ExperimentConfig":
+        """A copy with ``num_processors`` replaced (figure-5 sweep axis)."""
         return replace(self, num_processors=num_processors)
 
     def with_replication(self, replication_rate: float) -> "ExperimentConfig":
+        """A copy with ``replication_rate`` replaced (figure-6 sweep axis)."""
         return replace(self, replication_rate=replication_rate)
 
     def with_slack_factor(self, slack_factor: float) -> "ExperimentConfig":
+        """A copy with ``slack_factor`` replaced (laxity sweep axis)."""
         return replace(self, slack_factor=slack_factor)
 
     def with_backend(self, backend: str) -> "ExperimentConfig":
+        """A copy dispatching to another execution backend registry name."""
         return replace(self, backend=backend)
 
+    def with_execution(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        resume: Optional[bool] = None,
+    ) -> "ExperimentConfig":
+        """A copy with sweep-execution knobs replaced (None keeps current).
+
+        Only touches :data:`EXECUTION_FIELDS`, so the returned config has
+        the same :meth:`cache_fields` — and therefore the same cached
+        cells — as this one.
+        """
+        overrides: Dict[str, object] = {}
+        if jobs is not None:
+            overrides["jobs"] = jobs
+        if cache_dir is not None:
+            overrides["cache_dir"] = cache_dir
+        if resume is not None:
+            overrides["resume"] = resume
+        return replace(self, **overrides) if overrides else self
+
     def seeds(self) -> List[int]:
-        """One deterministic seed per repetition."""
+        """One deterministic seed per repetition.
+
+        Purely arithmetic over ``(base_seed, runs)``: the same list comes
+        back no matter where or how often it is called, which is what
+        makes sweep cells reproducible from any worker process — the
+        parallel engine never generates seeds, it only distributes these.
+        """
         return [self.base_seed + run for run in range(self.runs)]
+
+    def cache_fields(self) -> Dict[str, object]:
+        """Every field that determines a run's outcome, as plain types.
+
+        This is the identity the sweep cache hashes: all workload,
+        machine, cost-model, statistics, and backend fields — everything
+        except :data:`EXECUTION_FIELDS`, which only describe how a sweep
+        executes.  Any change to any returned value must invalidate
+        cached cells (tested in ``tests/experiments/test_sweep.py``).
+        """
+        return {
+            spec.name: getattr(self, spec.name)
+            for spec in fields(self)
+            if spec.name not in EXECUTION_FIELDS
+        }
 
 
 #: Sweep axes used by the figure reproductions (paper Section 5.1).

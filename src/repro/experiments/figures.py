@@ -45,6 +45,7 @@ from .config import (
     ExperimentConfig,
 )
 from .runner import CellResult, build_workload, run_cell
+from .sweep import run_grid
 
 #: Display names used in figures, matching the paper's legends.
 DISPLAY_NAMES = {
@@ -65,6 +66,7 @@ class SweepResult:
     significance: List[str] = field(default_factory=list)
 
     def render(self, chart: bool = True) -> str:
+        """Printable report: table, optional ASCII chart, significance."""
         parts = [format_figure(self.figure)]
         if chart:
             parts.append("")
@@ -83,18 +85,39 @@ def _run_sweep(
     schedulers: Sequence[str],
     notes: Sequence[str] = (),
 ) -> SweepResult:
-    """Shared machinery: one cell per (scheduler, x), stats across pairs."""
+    """Shared machinery: one cell per (scheduler, x), stats across pairs.
+
+    When the configs enable sweep execution (``jobs > 1`` or a
+    ``cache_dir``), the *entire* grid is handed to
+    :func:`repro.experiments.sweep.run_grid` as one batch, so a single
+    worker pool covers every (scheduler, x, seed) cell — much better
+    fan-out than pooling one cell at a time.  Otherwise each cell runs
+    through the legacy serial :func:`~repro.experiments.runner.run_cell`
+    path.  Either way the cells land in the same deterministic
+    (scheduler-major, x-minor, seed-innermost) order, so the resulting
+    figure is byte-identical across paths.
+    """
     figure = FigureData(
         title=title, x_label=x_label, x_values=list(x_values), notes=list(notes)
     )
     cells: Dict[Tuple[str, float], CellResult] = {}
+    if configs and (configs[0].jobs > 1 or configs[0].cache_dir):
+        specs = [
+            (config, name) for name in schedulers for config in configs
+        ]
+        grid = iter(run_grid(specs).cells)
+        for name in schedulers:
+            for x in x_values:
+                cells[(name, x)] = next(grid)
+    else:
+        for name in schedulers:
+            for x, config in zip(x_values, configs):
+                cells[(name, x)] = run_cell(config, name)
     for name in schedulers:
-        values = []
-        for x, config in zip(x_values, configs):
-            cell = run_cell(config, name)
-            cells[(name, x)] = cell
-            values.append(cell.mean_hit_percent)
-        figure.add_series(DISPLAY_NAMES.get(name, name), values)
+        figure.add_series(
+            DISPLAY_NAMES.get(name, name),
+            [cells[(name, x)].mean_hit_percent for x in x_values],
+        )
     significance = []
     if len(schedulers) >= 2 and configs and configs[0].runs >= 2:
         first, second = schedulers[0], schedulers[1]
@@ -168,6 +191,7 @@ class LaxitySweepResult:
     sweeps: Dict[float, SweepResult]
 
     def render(self) -> str:
+        """One chartless sweep report per slack factor, ascending SF."""
         parts = []
         for slack_factor in sorted(self.sweeps):
             parts.append(self.sweeps[slack_factor].render(chart=False))
@@ -231,6 +255,7 @@ class OverheadResult:
         return self.measured_per_vertex_seconds / modelled_seconds
 
     def render(self) -> str:
+        """The E4 cost table plus the wall-clock distortion summary."""
         headers = [
             "algorithm",
             "phases",
@@ -332,6 +357,7 @@ class AblationResult:
     rows: List[List[object]]
 
     def render(self) -> str:
+        """Title plus the variants table, formatted for a terminal."""
         return "\n".join([self.title, format_table(self.headers, self.rows)])
 
 

@@ -155,23 +155,28 @@ class CellResult:
 
     @property
     def mean_hit_percent(self) -> float:
+        """Mean deadline hit ratio (%) across repetitions — the y axis."""
         return mean(self.hit_percents)
 
     def hit_ci(self) -> Optional[ConfidenceInterval]:
+        """Confidence interval on the hit ratio, or None below 2 runs."""
         if len(self.hit_percents) < 2:
             return None
         return confidence_interval(self.hit_percents, self.config.confidence)
 
     @property
     def mean_dead_end_rate(self) -> float:
+        """Mean fraction of phases ending in a search dead end."""
         return mean(self.dead_end_rates)
 
     @property
     def mean_depth(self) -> float:
+        """Mean search-tree depth reached per phase across repetitions."""
         return mean(self.mean_depths)
 
     @property
     def mean_processors_touched(self) -> float:
+        """Mean processors the schedule actually used per phase."""
         return mean(self.processors_touched)
 
 
@@ -182,7 +187,19 @@ def run_cell(
     quantum_policy: Optional[QuantumPolicy] = None,
     backend: Union[str, ExecutionBackend, None] = None,
 ) -> CellResult:
-    """Run every repetition of a cell and aggregate the paper's metrics."""
+    """Run every repetition of a cell and aggregate the paper's metrics.
+
+    When the config enables sweep execution (``jobs > 1`` or a
+    ``cache_dir``) and no scheduler-construction overrides are given, the
+    repetitions route through the parallel sweep engine
+    (:func:`repro.experiments.sweep.run_grid`): cached repetitions are
+    reused and missing ones may fan across worker processes.  Overrides
+    (``evaluator``/``quantum_policy``, the ablation studies) force the
+    serial in-process path — they are live objects that cannot be part of
+    a cache key.  Either path aggregates in ``config.seeds()`` order, so
+    results are bit-identical.  Not thread-safe under instrumentation
+    (the metrics registry is unlocked); virtual quanta throughout.
+    """
     # Resolve the backend once so the aggregated CellResult (and the
     # metrics snapshot) record where the cell actually ran, even when the
     # caller overrode the config's choice.
@@ -190,6 +207,14 @@ def run_cell(
     if config.backend != resolved.name:
         config = config.with_backend(resolved.name)
     backend = resolved
+    if (
+        evaluator is None
+        and quantum_policy is None
+        and (config.jobs > 1 or config.cache_dir)
+    ):
+        from .sweep import run_grid
+
+        return run_grid([(config, scheduler_name)]).cells[0]
     obs = get_instrumentation()
     counters_before = (
         dict(obs.metrics.snapshot()["counters"]) if obs.enabled else {}

@@ -63,6 +63,7 @@ class PhaseTrace:
 
     @property
     def end(self) -> float:
+        """Phase end on the run's clock (virtual quanta on the simulator)."""
         return self.start + self.time_used
 
 
@@ -158,6 +159,7 @@ class PhaseDriver:
             self._next_arrival += 1
 
     def arrivals_exhausted(self) -> bool:
+        """True once every staged arrival has been admitted to pending."""
         return self._next_arrival >= len(self._arrivals)
 
     # ----- guarantee accounting and failure remap ---------------------------
@@ -172,6 +174,7 @@ class PhaseDriver:
         self._guaranteed_ids.discard(task_id)
 
     def worker_lost(self) -> None:
+        """Count one fail-stopped worker (live cluster failure path)."""
         self.workers_lost += 1
 
     def surrender(self, tasks: Sequence[Task]) -> int:

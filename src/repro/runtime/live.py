@@ -23,7 +23,15 @@ from .report import RunReport
 
 
 class ClusterBackend(ExecutionBackend):
-    """Runs a cell on the live TCP master/worker system."""
+    """Runs a cell on the live TCP master/worker system.
+
+    Stateless between runs (every :meth:`run_once` launches a fresh
+    master + workers), so one instance may be reused across cells; it is
+    not safe to call :meth:`run_once` concurrently from two threads with
+    a pinned port, because both masters would bind the same listener.
+    The report's ``wall_seconds`` is real host time; all schedule
+    quantities stay in virtual quanta.
+    """
 
     name = "cluster"
 
@@ -31,6 +39,7 @@ class ClusterBackend(ExecutionBackend):
         self,
         *,
         host: str = None,
+        port: int = None,
         seconds_per_unit: float = None,
         heartbeat_interval: float = None,
         guarantee_margin_seconds: float = None,
@@ -39,6 +48,7 @@ class ClusterBackend(ExecutionBackend):
     ) -> None:
         overrides = {
             "host": host,
+            "port": port,
             "seconds_per_unit": seconds_per_unit,
             "heartbeat_interval": heartbeat_interval,
             "guarantee_margin_seconds": guarantee_margin_seconds,
@@ -49,6 +59,17 @@ class ClusterBackend(ExecutionBackend):
             key: value for key, value in overrides.items()
             if value is not None
         }
+
+    def with_port(self, port: int) -> "ClusterBackend":
+        """A copy whose master binds ``port`` (0 = OS-chosen ephemeral).
+
+        The sweep engine uses this to pin consecutive live-cluster cells
+        onto leased ports from a bounded pool; all other deployment
+        overrides carry over unchanged.
+        """
+        clone = ClusterBackend()
+        clone._overrides = {**self._overrides, "port": port}
+        return clone
 
     def run_once(
         self,
@@ -61,6 +82,15 @@ class ClusterBackend(ExecutionBackend):
         validate_phases: bool = False,
         instrumentation=None,
     ) -> RunReport:
+        """Run one repetition on real processes over localhost TCP.
+
+        Spawns a master and one worker per configured processor, waits for
+        the run to finish, and returns the master's report: schedule
+        quantities in virtual quanta, ``wall_seconds`` in real time.
+        Blocking, and not concurrency-safe with a pinned port (two
+        masters would race for the listener) — the sweep engine
+        serializes cluster cells for exactly this reason.
+        """
         if evaluator is not None or quantum_policy is not None:
             raise NotImplementedError(
                 "scheduler construction overrides (evaluator, "

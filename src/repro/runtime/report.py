@@ -64,6 +64,7 @@ class RunReport:
 
     @property
     def hit_percent(self) -> float:
+        """:attr:`hit_ratio` as a percentage (the figures' y axis)."""
         return percent(self.deadline_hits, self.total_tasks)
 
     @property
@@ -85,6 +86,7 @@ class RunReport:
 
     @property
     def num_phases(self) -> int:
+        """How many scheduling phases the run took."""
         return len(self.phases)
 
     @property

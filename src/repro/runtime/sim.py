@@ -30,6 +30,14 @@ class SimBackend(ExecutionBackend):
         validate_phases: bool = False,
         instrumentation=None,
     ) -> RunReport:
+        """Simulate one repetition on the virtual clock.
+
+        Builds the workload from ``seed``, runs the discrete-event loop,
+        and returns its :class:`RunReport`; every time in the report is
+        virtual quanta except ``wall_seconds``, which is the simulation's
+        real CPU time.  Pure and stateless, so one ``SimBackend`` may be
+        shared by any number of threads or sweep worker processes.
+        """
         # Imported here, not at module level: the experiment builders
         # import the backend registry, so the arrow must point one way at
         # import time.

@@ -151,7 +151,102 @@ class TestMainWithObservability:
     def test_default_run_has_no_observability_side_effects(
         self, tmp_path, capsys, monkeypatch
     ):
+        # Also guards the sweep flags' caching policy: a plain serial
+        # invocation must neither cache nor export anything.
         monkeypatch.chdir(tmp_path)
         code = main(list(self.ARGS))
         assert code == 0
         assert list(tmp_path.iterdir()) == []
+
+
+class TestSweepFlags:
+    def _execution(self, *argv):
+        from repro.experiments.cli import sweep_execution_from_args
+
+        return sweep_execution_from_args(build_parser().parse_args(argv))
+
+    def test_defaults_serial_and_uncached(self):
+        assert self._execution("fig5") == {
+            "jobs": 1,
+            "cache_dir": None,
+            "resume": False,
+        }
+
+    def test_jobs_implies_default_cache(self):
+        from repro.experiments.sweep import DEFAULT_CACHE_DIR
+
+        execution = self._execution("fig5", "--jobs", "4")
+        assert execution["jobs"] == 4
+        assert execution["cache_dir"] == DEFAULT_CACHE_DIR
+
+    def test_no_cache_wins_over_jobs(self):
+        execution = self._execution("fig5", "--jobs", "4", "--no-cache")
+        assert execution["cache_dir"] is None
+
+    def test_explicit_cache_dir(self):
+        execution = self._execution("fig5", "--cache-dir", "my/cache")
+        assert execution["cache_dir"] == "my/cache"
+
+    def test_resume_implies_default_cache(self):
+        from repro.experiments.sweep import DEFAULT_CACHE_DIR
+
+        execution = self._execution("fig5", "--resume")
+        assert execution["resume"]
+        assert execution["cache_dir"] == DEFAULT_CACHE_DIR
+
+    def test_resume_and_no_cache_conflict(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--resume", "--no-cache"])
+
+    def test_flags_reach_the_config(self):
+        args = build_parser().parse_args(
+            ["fig5", "--jobs", "2", "--cache-dir", "c", "--resume"]
+        )
+        config = config_from_args(args)
+        assert config.jobs == 2
+        assert config.cache_dir == "c"
+        assert config.resume
+
+    def test_export_requires_a_figure_experiment(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "ablate-representation",
+                    "--quick",
+                    "--export", str(tmp_path / "out.json"),
+                ]
+            )
+
+    def test_export_writes_figure_json(self, tmp_path, capsys):
+        import json as json_module
+
+        path = tmp_path / "fig5.json"
+        code = main(
+            [
+                "fig5",
+                "--quick",
+                "--runs", "1",
+                "--transactions", "30",
+                "--no-cache",
+                "--export", str(path),
+            ]
+        )
+        assert code == 0
+        document = json_module.loads(path.read_text())
+        assert document["experiment"] == "fig5"
+        labels = {s["label"] for s in document["figure"]["series"]}
+        assert {"RT-SADS", "D-COLS"} <= labels
+
+    def test_cached_rerun_exports_identical_bytes(self, tmp_path, capsys):
+        argv = [
+            "fig5",
+            "--quick",
+            "--runs", "1",
+            "--transactions", "30",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main(argv + ["--export", str(first)]) == 0
+        assert main(argv + ["--resume", "--export", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()

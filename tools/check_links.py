@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Dead-link checker for the repo's markdown documentation.
+
+Validates every relative markdown link — ``[text](path)``,
+``[text](path#anchor)``, and ``[text](#anchor)`` — in the given files:
+
+* the target file must exist (relative to the linking document);
+* an anchor must match a heading in the target, using GitHub's slug
+  rule (lowercase, punctuation stripped, spaces to dashes).
+
+External links (``http://``, ``https://``, ``mailto:``) are left alone:
+offline CI cannot judge them, and flakiness would train people to
+ignore the check.
+
+Usage::
+
+    python tools/check_links.py README.md docs/*.md
+    python tools/check_links.py            # default: every tracked *.md
+
+Exit status 0 when every link resolves, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Set, Tuple
+
+#: Inline markdown links; deliberately ignores fenced code via LINE_FENCE.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (close enough for our docs)."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def iter_links(text: str) -> Iterator[str]:
+    """Every inline link target outside fenced code blocks."""
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield match.group(1)
+
+
+def anchors_of(path: Path) -> Set[str]:
+    """All heading anchors a markdown file exposes."""
+    slugs: Set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            slugs.add(github_slug(match.group(1)))
+    return slugs
+
+
+def check_file(path: Path) -> List[Tuple[Path, str, str]]:
+    """All broken links in one document as (source, target, reason)."""
+    problems = []
+    for target in iter_links(path.read_text(encoding="utf-8")):
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        raw, _, anchor = target.partition("#")
+        destination = (path.parent / raw).resolve() if raw else path.resolve()
+        if not destination.exists():
+            problems.append((path, target, "target does not exist"))
+            continue
+        if anchor and destination.suffix == ".md":
+            if github_slug(anchor) not in anchors_of(destination):
+                problems.append(
+                    (path, target, f"no heading for anchor #{anchor}")
+                )
+    return problems
+
+
+def default_documents() -> List[Path]:
+    """Every markdown file in the repo root and docs/ tree."""
+    root = Path(__file__).resolve().parent.parent
+    docs = sorted(root.glob("*.md")) + sorted(root.glob("docs/**/*.md"))
+    return docs
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point; returns the process exit status."""
+    documents = [Path(a) for a in argv] if argv else default_documents()
+    problems = []
+    for document in documents:
+        problems.extend(check_file(document))
+    for source, target, reason in problems:
+        print(f"{source}: broken link '{target}': {reason}")
+    if problems:
+        print(f"{len(problems)} broken link(s)")
+        return 1
+    print(f"{len(documents)} document(s) checked, all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
