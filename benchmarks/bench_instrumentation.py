@@ -1,0 +1,115 @@
+"""Instrumentation overhead regression check.
+
+Observability must stay cheap enough to leave on when it matters: this
+benchmark times the same experiment cell with instrumentation disabled
+(the tier-1 default) and with full tracing into an in-memory sink (the
+``--trace-out`` hot path minus the file write, which
+:class:`~repro.observability.sinks.JsonlSink` flushes per line by
+design), and fails when tracing costs more than :data:`MAX_SLOWDOWN`
+times the uninstrumented run.
+
+The threshold is deliberately generous — tracing stamps every task
+transition and phase span, so some cost is expected; what the bar
+catches is an accidental hot-path regression (instrumentation calls
+leaking inside the search inner loop, an event per vertex expansion,
+and the like), which shows up as an order of magnitude, not a factor.
+
+Headline numbers land in ``results/BENCH_instrumentation.json``.
+"""
+
+import time
+
+from conftest import record_metric
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import run_once
+from repro.observability import (
+    OFF,
+    Instrumentation,
+    MemorySink,
+    StructuredLogger,
+    instrumented,
+)
+
+#: Acceptance bar: full tracing may cost at most this factor over the
+#: uninstrumented run (generous; a hot-path leak overshoots it by 10x+).
+MAX_SLOWDOWN = 3.0
+
+#: Timing repetitions; best-of filters scheduler noise on shared runners.
+REPEATS = 5
+
+
+def _cell_config():
+    return ExperimentConfig.quick(
+        num_transactions=120, num_processors=4, runs=1, base_seed=1998
+    )
+
+
+def _best_of(run, repeats=REPEATS):
+    """Minimum wall time over ``repeats`` runs (noise-resistant)."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        samples.append(time.perf_counter() - start)
+    return min(samples), samples
+
+
+def test_enabled_tracing_overhead_bounded():
+    config = _cell_config()
+    seed = config.seeds()[0]
+
+    def disabled_run():
+        run_once(config, "rtsads", seed)
+
+    def traced_run():
+        obs = Instrumentation(
+            sink=MemorySink(), logger=StructuredLogger(level=OFF)
+        )
+        with instrumented(obs):
+            run_once(config, "rtsads", seed)
+
+    # Warm both paths once (imports, allocator) before timing.
+    disabled_run()
+    traced_run()
+
+    disabled, disabled_samples = _best_of(disabled_run)
+    traced, traced_samples = _best_of(traced_run)
+    slowdown = traced / disabled
+
+    record_metric(
+        "instrumentation",
+        "disabled_run_seconds",
+        samples=disabled_samples,
+        unit="s",
+    )
+    record_metric(
+        "instrumentation",
+        "traced_run_seconds",
+        samples=traced_samples,
+        unit="s",
+    )
+    record_metric(
+        "instrumentation",
+        "traced_slowdown",
+        slowdown=round(slowdown, 3),
+        threshold=MAX_SLOWDOWN,
+    )
+
+    assert slowdown <= MAX_SLOWDOWN, (
+        f"tracing slowed the run {slowdown:.2f}x "
+        f"(disabled {disabled:.4f}s, traced {traced:.4f}s); "
+        f"the bar is {MAX_SLOWDOWN}x — an instrumentation call likely "
+        f"leaked into the search hot path"
+    )
+
+
+def test_traced_events_actually_flow():
+    """The overhead number is meaningless if tracing silently no-ops."""
+    config = _cell_config()
+    sink = MemorySink()
+    obs = Instrumentation(sink=sink, logger=StructuredLogger(level=OFF))
+    with instrumented(obs):
+        run_once(config, "rtsads", config.seeds()[0])
+    kinds = {event.get("event") for event in sink.events}
+    assert {"run_start", "run_end", "span", "task"} <= kinds, kinds

@@ -54,6 +54,11 @@ class ClusterConfig:
     #: reported as an error (the per-test hard timeout of the smoke suite).
     max_wall_seconds: float = 120.0
     failure: Optional[FailurePlan] = None
+    #: Worker-side tracing: when on, every worker buffers execution events
+    #: and ships them to the master in batched TELEMETRY frames, where they
+    #: merge (skew-corrected) into the run's single trace sink.  Off by
+    #: default so an uninstrumented run sends nothing extra on the wire.
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.seconds_per_unit <= 0:
@@ -150,6 +155,10 @@ class ClusterConfig:
 
     def with_port(self, port: int) -> "ClusterConfig":
         return replace(self, port=port)
+
+    def with_telemetry(self, telemetry: bool = True) -> "ClusterConfig":
+        """A copy with worker-side trace shipping switched on or off."""
+        return replace(self, telemetry=telemetry)
 
     def with_failure(self, failure: Optional[FailurePlan]) -> "ClusterConfig":
         return replace(self, failure=failure)

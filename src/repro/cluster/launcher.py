@@ -37,6 +37,11 @@ def launch_cluster(
     # The master bound its listener in the constructor; give workers the
     # real port (the config may have asked for an ephemeral one).
     worker_config = config.with_port(master.port)
+    if obs.enabled and not worker_config.telemetry:
+        # The master is traced, so the workers should be too: spawned
+        # processes can't inherit the sink object, but the config flag
+        # makes them self-instrument and ship events back over the wire.
+        worker_config = worker_config.with_telemetry(True)
     context = multiprocessing.get_context("spawn")
     workers: List[multiprocessing.Process] = []
     try:

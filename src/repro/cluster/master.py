@@ -42,6 +42,7 @@ from ..core.task import Task
 from ..experiments.runner import build_scheduler
 from ..metrics.compliance import STATUS_COMPLETED, STATUS_EXPIRED
 from ..observability import Instrumentation, get_instrumentation
+from ..observability.clockskew import ClockOffsetEstimator
 from ..runtime.driver import PhaseDriver, PhaseHooks
 from ..runtime.report import ClusterReport, RunReport  # noqa: F401
 from . import protocol
@@ -179,6 +180,10 @@ class ClusterMaster(PhaseHooks):
         self.monitor = HeartbeatMonitor(
             config.heartbeat_interval, config.heartbeat_miss_factor
         )
+        # Every worker frame carries the sender's monotonic clock; the
+        # min-filter estimator learns each worker's offset so shipped
+        # telemetry can merge onto the master's timeline.
+        self.clock = ClockOffsetEstimator()
         self.guaranteed_violations = 0
         # Per-phase scratch set by loads() and consumed by deliver_entry():
         # the alive-worker index space and the accumulating queue picture.
@@ -210,13 +215,17 @@ class ClusterMaster(PhaseHooks):
             # spawn time is deployment overhead, not scheduling overhead,
             # and the bursty workload "arrives" at readiness.
             self._t0 = time.monotonic()
+            if self.obs.enabled:
+                self.obs.emit(
+                    "run_start",
+                    workers=len(self.workers),
+                    tasks=len(self.records),
+                )
             self._loop()
         finally:
             try:
                 self.hub.broadcast(protocol.shutdown())
-                # One short drain so SHUTDOWN frames leave the socket
-                # buffers before the hub closes them.
-                self.hub.poll(0.05)
+                self._drain_shutdown()
             except OSError:
                 pass
             self.close()
@@ -224,6 +233,31 @@ class ClusterMaster(PhaseHooks):
 
     def close(self) -> None:
         self.hub.close()
+
+    def _drain_shutdown(self) -> None:
+        """Let SHUTDOWN leave the buffers; collect the final telemetry.
+
+        Workers flush their last buffered events when SHUTDOWN arrives and
+        then disconnect; the master keeps polling briefly so those frames
+        merge into the trace instead of dying in a socket buffer.  Ends as
+        soon as every live connection drops (or the grace expires) —
+        untraced runs keep the old one-tick drain.
+        """
+        open_conns = sum(1 for s in self.workers.values() if s.alive)
+        traced = self.obs.enabled or self.config.telemetry
+        deadline = time.monotonic() + (0.5 if traced else 0.05)
+        while open_conns > 0 and time.monotonic() < deadline:
+            for event in self.hub.poll(0.05):
+                if event.kind == DISCONNECT:
+                    # An orderly exit, not a failure: count it down without
+                    # the worker-lost path (nothing is left to surrender).
+                    open_conns -= 1
+                elif event.kind == MESSAGE and (
+                    event.message.get("type") == protocol.TELEMETRY
+                ):
+                    self._on_telemetry(event.message)
+            if not traced:
+                break
 
     def _await_workers(self) -> None:
         """Block until every worker said HELLO (or the startup timeout)."""
@@ -236,12 +270,10 @@ class ClusterMaster(PhaseHooks):
                     f"registered within {config.startup_timeout}s"
                 )
             for event in self.hub.poll(config.poll_interval):
-                if event.kind == MESSAGE and (
-                    event.message.get("type") == protocol.HELLO
-                ):
-                    self._register_worker(event.conn_id, event.message)
-                elif event.kind == DISCONNECT:
-                    self._on_disconnect(event.conn_id)
+                # Routed through the full dispatcher: a fast worker's first
+                # TELEMETRY batch (its ``worker_start`` marker) can land
+                # while the master still waits on slower registrations.
+                self._handle_event(event)
         self.obs.logger.info(
             "cluster ready", workers=len(self.workers), port=self.port
         )
@@ -257,6 +289,7 @@ class ClusterMaster(PhaseHooks):
         self.workers[worker_id] = state
         self._conn_to_worker[conn_id] = worker_id
         self.monitor.register(worker_id, time.monotonic())
+        self._observe_clock(worker_id, message.get("mono"))
         residency = self.database.placement.contents_of(worker_id)
         self.hub.send(conn_id, protocol.welcome(worker_id, residency))
         if self.obs.enabled:
@@ -292,11 +325,15 @@ class ClusterMaster(PhaseHooks):
         if kind == protocol.HELLO:
             self._register_worker(event.conn_id, message)
         elif kind == protocol.HEARTBEAT:
-            self.monitor.beat(int(message["worker_id"]), time.monotonic())
+            worker_id = int(message["worker_id"])
+            self.monitor.beat(worker_id, time.monotonic())
+            self._observe_clock(worker_id, message.get("mono"))
             if self.obs.enabled:
                 self.obs.metrics.counter("cluster_heartbeats").inc()
         elif kind == protocol.TASK_DONE:
             self._on_task_done(message)
+        elif kind == protocol.TELEMETRY:
+            self._on_telemetry(message)
         else:
             self.obs.logger.warning(
                 "unexpected message at master", type=kind
@@ -306,6 +343,65 @@ class ClusterMaster(PhaseHooks):
         worker_id = self._conn_to_worker.pop(conn_id, None)
         if worker_id is not None:
             self._worker_lost(worker_id, reason="connection lost")
+
+    # ----- telemetry merging ------------------------------------------------
+
+    def _observe_clock(self, worker_id: int, sent_mono: object) -> None:
+        """Fold one worker send-stamp into the offset estimate.
+
+        Emits a ``clock_offset`` event whenever the estimate for a worker
+        first appears or tightens, so the trace records the correction
+        applied to every subsequently merged event.
+        """
+        if not isinstance(sent_mono, (int, float)) or sent_mono <= 0.0:
+            return  # pre-v2 worker or constructor default: no sample
+        before = self.clock.offset(worker_id)
+        estimate = self.clock.observe(
+            worker_id, float(sent_mono), time.monotonic()
+        )
+        if self.obs.enabled and (before is None or estimate < before - 1e-6):
+            self.obs.emit(
+                "clock_offset",
+                worker=worker_id,
+                offset_s=round(estimate, 6),
+                samples=self.clock.samples(worker_id),
+            )
+
+    def _on_telemetry(self, message: Dict) -> None:
+        """Merge one batched TELEMETRY frame into the run's trace sink.
+
+        Each shipped event keeps the worker's own stamp (``w_mono``) and
+        gains the skew-corrected master-clock reading (``m_mono``) plus the
+        virtual time ``t`` derived from it — the field every analysis tool
+        orders by.  Events are written straight to the sink (not through
+        :meth:`Instrumentation.emit`) so the worker's bound context
+        survives instead of being overwritten by the master's.
+        """
+        worker_id = int(message["worker_id"])
+        self.monitor.beat(worker_id, time.monotonic())
+        self._observe_clock(worker_id, message.get("mono"))
+        if not self.obs.enabled:
+            return
+        spu = self.config.seconds_per_unit
+        events = message.get("events", ())
+        merged = 0
+        for event in events:
+            if not isinstance(event, dict):
+                continue
+            out = dict(event)
+            out.setdefault("component", "worker")
+            out.setdefault("worker", worker_id)
+            w_mono = out.get("w_mono")
+            if isinstance(w_mono, (int, float)):
+                corrected = self.clock.correct(worker_id, float(w_mono))
+                if corrected is not None:
+                    out["m_mono"] = round(corrected, 6)
+                    if self._t0 is not None:
+                        out["t"] = round((corrected - self._t0) / spu, 6)
+            self.obs.sink.emit(out)
+            merged += 1
+        self.obs.metrics.counter("cluster_telemetry_events").inc(merged)
+        self.obs.metrics.counter("cluster_telemetry_batches").inc()
 
     # ----- completions ------------------------------------------------------
 
@@ -347,6 +443,8 @@ class ClusterMaster(PhaseHooks):
                 t=now_v,
                 processor=worker_id,
                 met_deadline=record.met_deadline,
+                deadline=record.task.deadline,
+                actual_cost=record.actual_cost,
             )
 
     # ----- failures ---------------------------------------------------------
@@ -386,6 +484,23 @@ class ClusterMaster(PhaseHooks):
         if self.obs.enabled:
             self.obs.metrics.counter("cluster_workers_lost").inc()
             self.obs.metrics.counter("cluster_reschedules").inc(len(requeue))
+            now_v = self.vnow()
+            self.obs.emit(
+                "worker_lost",
+                worker=worker_id,
+                reason=reason,
+                t=now_v,
+                surrendered=len(requeue),
+            )
+            for task in requeue:
+                self.obs.emit(
+                    "task",
+                    transition="surrendered",
+                    task_id=task.task_id,
+                    t=now_v,
+                    processor=worker_id,
+                    deadline=task.deadline,
+                )
 
     # ----- PhaseHooks: the driver's view of the live cluster ----------------
 
@@ -426,6 +541,7 @@ class ClusterMaster(PhaseHooks):
                 task_id=task.task_id,
                 t=now,
                 deadline=task.deadline,
+                arrival=task.arrival_time,
             )
 
     def deliver_entry(self, entry, phase_index: int, now: float) -> bool:
@@ -454,6 +570,15 @@ class ClusterMaster(PhaseHooks):
             # next phase or expire.
             if self.obs.enabled:
                 self.obs.metrics.counter("cluster_dispatch_rejected").inc()
+                self.obs.emit(
+                    "task",
+                    transition="dispatch_rejected",
+                    task_id=entry.task.task_id,
+                    t=now_v,
+                    processor=worker_id,
+                    deadline=entry.task.deadline,
+                    finish_bound=round(finish_bound + margin, 6),
+                )
             return False
         sent = self.hub.send(
             state.conn_id,
@@ -487,6 +612,10 @@ class ClusterMaster(PhaseHooks):
                 task_id=entry.task.task_id,
                 t=now_v,
                 processor=worker_id,
+                phase=phase_index,
+                arrival=entry.task.arrival_time,
+                deadline=entry.task.deadline,
+                planned_cost=entry.total_cost,
             )
         return True
 
@@ -536,6 +665,15 @@ class ClusterMaster(PhaseHooks):
             if self._start_wall is not None
             else 0.0
         )
+        if self.obs.enabled:
+            self.obs.emit(
+                "run_end",
+                workers=self.config.num_workers,
+                tasks=len(self.records),
+                deadline_hits=len(hits),
+                phases=len(self.driver.phases),
+                makespan=float(makespan),
+            )
         return RunReport(
             backend="cluster",
             scheduler_name=self.scheduler.name,

@@ -14,34 +14,49 @@ Message types
 ``ASSIGN``     master -> worker: one guaranteed task-to-processor assignment.
 ``TASK_DONE``  worker -> master: actual vs estimated execution cost.
 ``HEARTBEAT``  worker -> master: liveness + queue depth.
+``TELEMETRY``  worker -> master: a batch of buffered trace events.
 ``SHUTDOWN``   master -> worker: drain and exit.
+
+Clock samples
+-------------
+``HELLO``, ``HEARTBEAT``, and ``TELEMETRY`` carry ``mono`` — the sender's
+``time.monotonic()`` at send time — so the master can estimate each
+worker's clock offset (see
+:class:`repro.observability.clockskew.ClockOffsetEstimator`) and merge
+worker-stamped telemetry events onto its own timeline.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Sequence
 
 #: Bump on any incompatible change to frame layout or message fields.
-PROTOCOL_VERSION = 1
+#: v2: TELEMETRY messages; ``mono`` clock samples on HELLO and HEARTBEAT.
+PROTOCOL_VERSION = 2
 
 #: 4-byte big-endian unsigned payload length.
 HEADER = struct.Struct(">I")
 
 #: Upper bound on one frame's payload; anything larger is a corrupt stream
-#: (the largest legitimate message is an ASSIGN of a few hundred bytes).
+#: (the largest legitimate message is a TELEMETRY batch of a few hundred
+#: small events; batches are chunked well below this).
 MAX_FRAME_BYTES = 1 << 20
+
+#: Events per TELEMETRY frame; keeps every frame far under MAX_FRAME_BYTES.
+TELEMETRY_BATCH_SIZE = 200
 
 HELLO = "HELLO"
 WELCOME = "WELCOME"
 ASSIGN = "ASSIGN"
 TASK_DONE = "TASK_DONE"
 HEARTBEAT = "HEARTBEAT"
+TELEMETRY = "TELEMETRY"
 SHUTDOWN = "SHUTDOWN"
 
 MESSAGE_TYPES = frozenset(
-    {HELLO, WELCOME, ASSIGN, TASK_DONE, HEARTBEAT, SHUTDOWN}
+    {HELLO, WELCOME, ASSIGN, TASK_DONE, HEARTBEAT, TELEMETRY, SHUTDOWN}
 )
 
 
@@ -123,8 +138,17 @@ class FrameDecoder:
 # ----- constructors ---------------------------------------------------------
 
 
-def hello(worker_id: int, pid: int, host: str) -> Dict[str, object]:
-    return {"type": HELLO, "worker_id": worker_id, "pid": pid, "host": host}
+def hello(
+    worker_id: int, pid: int, host: str, mono: float = 0.0
+) -> Dict[str, object]:
+    """Registration; ``mono`` is the worker clock's first offset sample."""
+    return {
+        "type": HELLO,
+        "worker_id": worker_id,
+        "pid": pid,
+        "host": host,
+        "mono": mono,
+    }
 
 
 def welcome(worker_id: int, residency: Iterable[int]) -> Dict[str, object]:
@@ -177,13 +201,32 @@ def task_done(
 
 
 def heartbeat(
-    worker_id: int, queue_depth: int, tasks_done: int
+    worker_id: int, queue_depth: int, tasks_done: int, mono: float = 0.0
 ) -> Dict[str, object]:
+    """Liveness beat; ``mono`` feeds the master's clock-offset estimator."""
     return {
         "type": HEARTBEAT,
         "worker_id": worker_id,
         "queue_depth": queue_depth,
         "tasks_done": tasks_done,
+        "mono": mono,
+    }
+
+
+def telemetry(
+    worker_id: int, events: Sequence[Dict[str, object]], mono: float = 0.0
+) -> Dict[str, object]:
+    """One batch of buffered worker trace events.
+
+    Each event is a flat JSON object stamped with ``w_mono`` (the worker's
+    monotonic clock when it was emitted); ``mono`` is the batch's send
+    time, which doubles as one more clock-offset sample.
+    """
+    return {
+        "type": TELEMETRY,
+        "worker_id": worker_id,
+        "events": list(events),
+        "mono": mono,
     }
 
 

@@ -21,6 +21,13 @@ the point the master budgeted.
 FailurePlan` comes due dies with ``os._exit`` — no goodbye frame, no flush
 — which is exactly the fail-stop silence the master's heartbeat monitor
 exists to detect.
+
+**Telemetry.**  When the config's ``telemetry`` flag is on, the worker
+instruments itself into a :class:`~repro.cluster.telemetry.TelemetryBuffer`
+(execution start/finish with overrun accounting, heartbeat lag, lifecycle
+markers) and drains it in batched ``TELEMETRY`` frames only on quantum
+boundaries — after a task completes, with heartbeats, and at shutdown — so
+tracing never sits on the execution path.
 """
 
 from __future__ import annotations
@@ -30,11 +37,18 @@ import time
 from collections import deque
 from typing import Deque, Dict, Optional
 
-from ..observability import Instrumentation, get_instrumentation
+from ..observability import (
+    OFF,
+    Instrumentation,
+    MetricsRegistry,
+    StructuredLogger,
+    get_instrumentation,
+)
 from . import protocol
 from .config import ClusterConfig, build_cluster_workload
 from .failure import FAILURE_EXIT_CODE
 from .network import ConnectionLost, WorkerChannel
+from .telemetry import TelemetryBuffer
 
 
 class ClusterWorker:
@@ -52,7 +66,23 @@ class ClusterWorker:
             )
         self.config = config
         self.index = index
-        base_obs = instrumentation or get_instrumentation()
+        self._telemetry: Optional[TelemetryBuffer] = None
+        if instrumentation is not None:
+            base_obs = instrumentation
+        elif config.telemetry:
+            # Spawned workers start with the NULL default; the config flag
+            # is how the master's tracing reaches across the process
+            # boundary.  Events buffer locally and ship on quantum
+            # boundaries — the worker never touches the trace file itself.
+            base_obs = Instrumentation(
+                metrics=MetricsRegistry(),
+                logger=StructuredLogger(name="repro.worker", level=OFF),
+                sink=TelemetryBuffer(),
+            )
+        else:
+            base_obs = get_instrumentation()
+        if isinstance(base_obs.sink, TelemetryBuffer):
+            self._telemetry = base_obs.sink
         self.obs = (
             base_obs.bind(component="worker", worker=index)
             if base_obs.enabled
@@ -103,7 +133,12 @@ class ClusterWorker:
     def _register(self) -> None:
         channel = self._channel
         channel.send(
-            protocol.hello(self.index, os.getpid(), self.config.host)
+            protocol.hello(
+                self.index,
+                os.getpid(),
+                self.config.host,
+                mono=time.monotonic(),
+            )
         )
         deadline = time.monotonic() + self.config.startup_timeout
         while time.monotonic() < deadline:
@@ -119,6 +154,13 @@ class ClusterWorker:
                             f"says {sorted(self.residency)}"
                         )
                     self._last_beat = time.monotonic()
+                    if self.obs.enabled:
+                        self.obs.emit(
+                            "worker_start",
+                            pid=os.getpid(),
+                            residency=sorted(self.residency),
+                        )
+                    self._flush_telemetry()
                     return
             self._maybe_die()
         raise ConnectionLost(
@@ -142,6 +184,19 @@ class ClusterWorker:
                         reason=message.get("reason"),
                         done=self.tasks_done,
                     )
+                    if self.obs.enabled:
+                        self.obs.emit(
+                            "worker_shutdown",
+                            tasks_done=self.tasks_done,
+                            reason=message.get("reason"),
+                        )
+                    # Last chance for buffered events to reach the trace;
+                    # a failed flush means the master is gone and the
+                    # events die with the worker, as a crash's would.
+                    try:
+                        self._flush_telemetry()
+                    except ConnectionLost:
+                        pass
                     return
                 else:
                     self.obs.logger.warning(
@@ -158,6 +213,13 @@ class ClusterWorker:
         if txn is None:
             self.obs.logger.warning("unknown task assigned", task=task_id)
             return
+        if self.obs.enabled:
+            self.obs.emit(
+                "task",
+                transition="exec_started",
+                task_id=task_id,
+                queue_depth=len(self._queue),
+            )
         started = time.perf_counter()
         target = txn.target_subdb(self.database.schema)
         # A resident partition runs on the local replica set; a non-resident
@@ -188,10 +250,29 @@ class ClusterWorker:
         )
         self.tasks_done += 1
         if self.obs.enabled:
+            # Overrun is measured against the master's worst-case budget:
+            # a positive value means the checking work physically outran
+            # the time the guarantee reserved for it.
+            budget_estimate = self.config.units_to_seconds(estimate_units)
+            self.obs.emit(
+                "task",
+                transition="exec_finished",
+                task_id=task_id,
+                actual_cost=actual_units,
+                planned_cost=estimate_units,
+                exec_seconds=round(exec_seconds, 6),
+                budget_seconds=round(budget_estimate, 6),
+                overrun_seconds=round(
+                    max(0.0, exec_seconds - budget_estimate), 6
+                ),
+            )
             self.obs.metrics.counter("cluster_worker_tasks_done").inc()
             self.obs.metrics.counter(
                 "cluster_worker_tuples_checked"
             ).inc(outcome.tuples_checked)
+        # Quantum boundary: the task is done and reported; flushing now
+        # keeps telemetry off the execution path itself.
+        self._flush_telemetry()
 
     def _paced_sleep(self, seconds: float) -> None:
         """Pad execution to the scaled cost without going silent.
@@ -216,17 +297,37 @@ class ClusterWorker:
 
     def _maybe_heartbeat(self) -> None:
         now = time.monotonic()
-        if now - self._last_beat < self.config.heartbeat_interval / 2.0:
+        gap = now - self._last_beat
+        if gap < self.config.heartbeat_interval / 2.0:
             return
+        if self.obs.enabled and gap > self.config.heartbeat_interval:
+            # The beat cadence slipped past a full interval: the worker
+            # was wedged in something longer than a pacing slice (GC,
+            # swap, a slow probe) — exactly the lag that makes the master
+            # suspect death, so it goes in the trace.
+            self.obs.emit("heartbeat_lag", gap_seconds=round(gap, 6))
         self._last_beat = now
-        try:
-            self._channel.send(
-                protocol.heartbeat(
-                    self.index, len(self._queue), self.tasks_done
-                )
+        self._channel.send(
+            protocol.heartbeat(
+                self.index, len(self._queue), self.tasks_done, mono=now
             )
-        except ConnectionLost:
-            raise
+        )
+        # Heartbeats mark quantum boundaries for idle workers; piggyback
+        # any buffered telemetry on the same wakeup.
+        self._flush_telemetry()
+
+    def _flush_telemetry(self) -> None:
+        """Ship buffered trace events to the master in batched frames."""
+        buffer = self._telemetry
+        if buffer is None or not buffer or self._channel is None:
+            return
+        while buffer:
+            batch = buffer.drain(protocol.TELEMETRY_BATCH_SIZE)
+            if not batch:
+                break
+            self._channel.send(
+                protocol.telemetry(self.index, batch, mono=time.monotonic())
+            )
 
     def _maybe_die(self) -> None:
         """Fail-stop: drop dead mid-anything, exactly as a crash would."""

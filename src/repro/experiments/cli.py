@@ -20,6 +20,12 @@ Observability (see EXPERIMENTS.md appendix for the schemas)::
     python -m repro.experiments fig5 --quick --verbose
     python -m repro.experiments fig5 --quick --trace-out trace.jsonl \\
         --metrics-out metrics.json
+
+Trace analysis (see docs/OBSERVABILITY.md; also ``repro trace ...``)::
+
+    python -m repro.experiments trace analyze trace.jsonl
+    python -m repro.experiments trace timeline trace.jsonl --phase 0
+    python -m repro.experiments trace diff sim.jsonl cluster.jsonl
 """
 
 from __future__ import annotations
@@ -459,9 +465,16 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of the ``repro-experiments`` console script."""
+    """Entry point of the ``repro`` / ``repro-experiments`` console scripts."""
+    arglist = list(sys.argv[1:] if argv is None else argv)
+    if arglist and arglist[0] == "trace":
+        # The trace toolbox has its own subcommand grammar; route before
+        # the experiment parser rejects the unknown positional.
+        from .trace_cli import trace_main
+
+        return trace_main(arglist[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arglist)
     if args.experiment == CLUSTER_COMMAND:
         return run_cluster(args)
     if args.export and args.experiment not in ("fig5", "fig6", "laxity"):

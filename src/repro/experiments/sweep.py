@@ -43,19 +43,23 @@ import hashlib
 import json
 import multiprocessing
 import os
+import shutil
+import tempfile
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..observability import get_instrumentation
+from ..observability import NULL_SINK, get_instrumentation, read_jsonl
 from .config import ExperimentConfig
 
 #: Bump when the CellRecord schema changes: a new version can never read
 #: (or be poisoned by) records written by an older one.
-CACHE_SCHEMA_VERSION = 1
+#: v2: records carry the cell's counter deltas, so cached cells keep
+#: their metrics contribution on --resume.
+CACHE_SCHEMA_VERSION = 2
 
 #: The cache directory the CLI defaults to (relative to the working dir).
 DEFAULT_CACHE_DIR = "results/cache"
@@ -109,6 +113,11 @@ class CellRecord:
     num_phases: int
     wall_seconds: float
     elapsed_seconds: float = 0.0
+    #: Counter deltas this cell's run produced (``format_key`` -> value).
+    #: Persisted with the record so a cached cell still contributes its
+    #: metrics to ``--metrics-out`` on resume; empty when the run was
+    #: uninstrumented.
+    counters: Dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def from_report(cls, report, elapsed_seconds: float = 0.0) -> "CellRecord":
@@ -265,23 +274,62 @@ class PortPool:
 
 
 def _execute_cell(
-    payload: Tuple[int, SweepCell]
+    payload: Tuple[int, SweepCell, Optional[str]]
 ) -> Tuple[int, Dict[str, object]]:
     """Pool worker: run one cell and return ``(index, record dict)``.
 
-    Runs in a spawned child with default (disabled) instrumentation: the
-    parent owns progress reporting and metrics, keeping workers free of
-    shared state.  Module-level by necessity — spawn pickles the function
-    by reference.
+    ``payload`` is ``(index, cell, trace_path)``.  With ``trace_path``
+    ``None`` the cell runs under whatever instrumentation is already the
+    process default — disabled in a spawned child, the parent's own in
+    the serial in-process path.  With a path (the parent is tracing and
+    this is a spawned child that cannot reach the parent's sink), the
+    child instruments itself into a private JSONL file at that path and
+    records its counter deltas on the returned record; the parent adopts
+    both when the cell finishes, so ``--trace-out --jobs N`` loses
+    nothing relative to ``--jobs 1``.  Module-level by necessity — spawn
+    pickles the function by reference.
     """
-    index, cell = payload
+    index, cell, trace_path = payload
     from .runner import run_once
 
-    start = time.perf_counter()
-    report = run_once(cell.config, cell.scheduler_name, cell.seed)
-    elapsed = time.perf_counter() - start
+    if trace_path is None:
+        start = time.perf_counter()
+        report = run_once(cell.config, cell.scheduler_name, cell.seed)
+        elapsed = time.perf_counter() - start
+        record = CellRecord.from_report(report, elapsed_seconds=elapsed)
+        return index, record.as_dict()
+
+    from ..observability import (
+        OFF,
+        Instrumentation,
+        JsonlSink,
+        MetricsRegistry,
+        StructuredLogger,
+        instrumented,
+    )
+
+    obs = Instrumentation(
+        metrics=MetricsRegistry(),
+        logger=StructuredLogger(name="repro.sweep", level=OFF),
+        sink=JsonlSink(trace_path),
+    )
+    try:
+        start = time.perf_counter()
+        with instrumented(obs):
+            report = run_once(cell.config, cell.scheduler_name, cell.seed)
+        elapsed = time.perf_counter() - start
+    finally:
+        obs.close()
     record = CellRecord.from_report(report, elapsed_seconds=elapsed)
-    return index, record.as_dict()
+    # A fresh registry means absolute values ARE this cell's deltas;
+    # zero-valued (created but never incremented) counters are dropped to
+    # match the delta semantics of the in-parent path.
+    counters = {
+        key: value
+        for key, value in obs.metrics.snapshot()["counters"].items()
+        if value != 0
+    }
+    return index, replace(record, counters=counters).as_dict()
 
 
 # ----- the engine ------------------------------------------------------------
@@ -394,19 +442,57 @@ def run_grid(
         _note_cell(obs, cell, record, index, len(tasks), source="run")
 
     if jobs > 1 and len(parallel) > 1:
-        context = multiprocessing.get_context("spawn")
-        with context.Pool(processes=min(jobs, len(parallel))) as pool:
-            for index, payload in pool.imap_unordered(
-                _execute_cell, parallel
-            ):
-                finish(index, tasks[index], CellRecord.from_dict(payload))
+        # Spawned children cannot reach the parent's sink; when the
+        # parent is tracing, each child writes a private per-cell JSONL
+        # file that the parent adopts (re-emits, then deletes) as the
+        # cell finishes — same event set as a serial run, completion
+        # order.
+        trace_dir = (
+            tempfile.mkdtemp(prefix="repro-sweep-trace-")
+            if obs.enabled and obs.sink is not NULL_SINK
+            else None
+        )
+        payloads = [
+            (
+                index,
+                cell,
+                os.path.join(trace_dir, f"cell-{index}.jsonl")
+                if trace_dir
+                else None,
+            )
+            for index, cell in parallel
+        ]
+        try:
+            context = multiprocessing.get_context("spawn")
+            with context.Pool(processes=min(jobs, len(parallel))) as pool:
+                for index, payload in pool.imap_unordered(
+                    _execute_cell, payloads
+                ):
+                    record = CellRecord.from_dict(payload)
+                    if trace_dir:
+                        _adopt_cell_trace(
+                            obs,
+                            os.path.join(trace_dir, f"cell-{index}.jsonl"),
+                        )
+                    finish(index, tasks[index], record)
+        finally:
+            if trace_dir:
+                shutil.rmtree(trace_dir, ignore_errors=True)
     else:
         for index, cell in parallel:
-            _, payload = _execute_cell((index, cell))
-            finish(index, cell, CellRecord.from_dict(payload))
+            # In-process: run_once sees the parent's own instrumentation,
+            # so trace events flow straight to the sink; only the per-cell
+            # counter deltas need explicit capture.
+            before = _counter_values(obs)
+            _, payload = _execute_cell((index, cell, None))
+            record = CellRecord.from_dict(payload)
+            record = replace(
+                record, counters=_counter_delta(before, _counter_values(obs))
+            )
+            finish(index, cell, record)
 
     if serial:
-        _run_serial_backends(serial, port_pool or PortPool(), finish)
+        _run_serial_backends(serial, port_pool or PortPool(), finish, obs)
 
     stats.elapsed_seconds = time.perf_counter() - started
     if obs.enabled:
@@ -426,9 +512,15 @@ def run_grid(
         outcome.cells.append(cell)
         if obs.enabled:
             # Same per-cell summary shape the serial runner records for
-            # --metrics-out; counter deltas are parent-side only (pool
-            # workers keep their own registries), so they are omitted
-            # here rather than reported wrong.
+            # --metrics-out.  Counter deltas sum over the spec's records:
+            # fresh cells captured them at execution time (in the child
+            # or around the in-parent run) and cached cells persisted
+            # them in their cache records, so a resumed sweep reports the
+            # same totals as the run that populated the cache.
+            summed: Dict[str, float] = {}
+            for record in ordered:
+                for key, value in record.counters.items():
+                    summed[key] = summed.get(key, 0) + value
             obs.record_cell(
                 {
                     "scheduler": scheduler_name,
@@ -441,18 +533,20 @@ def run_grid(
                     "mean_hit_percent": cell.mean_hit_percent,
                     "mean_dead_end_rate": cell.mean_dead_end_rate,
                     "scheduled_but_missed": cell.scheduled_but_missed,
-                    "counters": {},
+                    "counters": summed,
                 }
             )
     return outcome
 
 
-def _run_serial_backends(items, port_pool: PortPool, finish) -> None:
+def _run_serial_backends(items, port_pool: PortPool, finish, obs) -> None:
     """Run live-cluster cells one at a time on leased master ports.
 
     Each cell spawns its own worker processes, so concurrency here would
     multiply process counts and risk port collisions; serialized on the
-    pool, consecutive masters can never contend for one listener.
+    pool, consecutive masters can never contend for one listener.  Runs
+    in the parent, so trace events reach the sink directly; counter
+    deltas are captured per cell like the serial runner does.
     """
     from ..runtime.backend import get_backend
     from .runner import run_once
@@ -462,14 +556,54 @@ def _run_serial_backends(items, port_pool: PortPool, finish) -> None:
             backend = get_backend(cell.config.backend)
             if port and hasattr(backend, "with_port"):
                 backend = backend.with_port(port)
+            before = _counter_values(obs)
             start = time.perf_counter()
             report = run_once(
                 cell.config, cell.scheduler_name, cell.seed, backend=backend
             )
             elapsed = time.perf_counter() - start
-        finish(
-            index, cell, CellRecord.from_report(report, elapsed_seconds=elapsed)
+        record = replace(
+            CellRecord.from_report(report, elapsed_seconds=elapsed),
+            counters=_counter_delta(before, _counter_values(obs)),
         )
+        finish(index, cell, record)
+
+
+def _counter_values(obs) -> Dict[str, float]:
+    """Flat ``format_key -> value`` view of the registry's counters."""
+    if not obs.enabled:
+        return {}
+    return dict(obs.metrics.snapshot()["counters"])
+
+
+def _counter_delta(
+    before: Dict[str, float], after: Dict[str, float]
+) -> Dict[str, float]:
+    """Counters that moved between two :func:`_counter_values` snapshots."""
+    return {
+        key: value - before.get(key, 0)
+        for key, value in after.items()
+        if value != before.get(key, 0)
+    }
+
+
+def _adopt_cell_trace(obs, path: str) -> None:
+    """Re-emit one pool child's private trace file into the parent sink.
+
+    Unreadable or half-written files are skipped, never fatal: a child
+    that died mid-write already failed louder elsewhere, and a trace must
+    not take the sweep down with it.  The file is deleted after adoption.
+    """
+    try:
+        events = read_jsonl(path)
+    except (OSError, ValueError):
+        return
+    for event in events:
+        obs.sink.emit(event)
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
 
 
 def _aggregate(cell_result_cls, config, scheduler_name, records):

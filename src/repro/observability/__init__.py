@@ -23,6 +23,18 @@ does under the hood)::
 See :mod:`repro.observability.sinks` for the JSONL event schema.
 """
 
+from .analyze import (
+    CAUSES,
+    AttributionReport,
+    MissAttribution,
+    TraceDiff,
+    attribute_misses,
+    diff_traces,
+    render_attribution,
+    render_diff,
+    render_timeline,
+)
+from .clockskew import ClockOffsetEstimator
 from .instrument import (
     NULL_INSTRUMENTATION,
     Instrumentation,
@@ -43,11 +55,21 @@ from .sinks import NULL_SINK, JsonlSink, MemorySink, TraceSink, read_jsonl
 from .tracing import NULL_SPAN, NullSpan, Span
 
 __all__ = [
+    "AttributionReport",
+    "CAUSES",
+    "ClockOffsetEstimator",
     "DEBUG",
     "ERROR",
     "HISTOGRAM_SAMPLE_CAP",
     "INFO",
     "Counter",
+    "MissAttribution",
+    "TraceDiff",
+    "attribute_misses",
+    "diff_traces",
+    "render_attribution",
+    "render_diff",
+    "render_timeline",
     "Gauge",
     "Histogram",
     "Instrumentation",

@@ -74,7 +74,18 @@ class MemorySink(TraceSink):
 
 
 class JsonlSink(TraceSink):
-    """Writes one JSON object per line to a path or an open text stream."""
+    """Writes one JSON object per line to a path or an open text stream.
+
+    Crash-safe by policy: every emit flushes the line to the OS, so a
+    process killed mid-run (a fail-stop worker, an interrupted sweep)
+    leaves a fully parseable trace of everything up to the kill — the
+    worst case is one torn final line, which :func:`read_jsonl` reports
+    rather than silently truncating.  Trace events are rare relative to
+    scheduling work (quantum granularity, not instruction granularity),
+    so the per-line flush is noise next to the JSON encode itself.
+    ``close`` is idempotent and safe to call from ``finally`` blocks that
+    may run twice.
+    """
 
     def __init__(self, target: "str | Path | TextIO") -> None:
         if isinstance(target, (str, Path)):
@@ -92,6 +103,7 @@ class JsonlSink(TraceSink):
     def emit(self, event: Dict[str, object]) -> None:
         json.dump(event, self._file, separators=(",", ":"), sort_keys=True)
         self._file.write("\n")
+        self._file.flush()
         self.events_written += 1
 
     def close(self) -> None:

@@ -126,7 +126,11 @@ class DistributedRuntime(PhaseHooks):
         self.trace.records[task.task_id].status = STATUS_EXPIRED
         if self.obs.enabled:
             self._task_event(
-                "expired", task.task_id, now, deadline=task.deadline
+                "expired",
+                task.task_id,
+                now,
+                deadline=task.deadline,
+                arrival=task.arrival_time,
             )
 
     def deliver_entry(self, entry, phase_index: int, now: float) -> bool:
@@ -151,6 +155,9 @@ class DistributedRuntime(PhaseHooks):
                 now,
                 processor=entry.processor,
                 phase=phase_index,
+                arrival=entry.task.arrival_time,
+                deadline=entry.task.deadline,
+                planned_cost=entry.total_cost,
             )
         return True
 
@@ -268,6 +275,7 @@ class DistributedRuntime(PhaseHooks):
                 now,
                 processor=event.processor,
                 met_deadline=record.met_deadline,
+                deadline=record.task.deadline,
             )
         self._maybe_start_worker(event.processor, now)
 

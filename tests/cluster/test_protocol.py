@@ -34,7 +34,15 @@ ALL_MESSAGES = [
         estimated_cost=123.5,
         exec_seconds=0.104,
     ),
-    protocol.heartbeat(worker_id=3, queue_depth=2, tasks_done=9),
+    protocol.heartbeat(worker_id=3, queue_depth=2, tasks_done=9, mono=12.5),
+    protocol.telemetry(
+        worker_id=3,
+        events=[
+            {"event": "task", "transition": "exec_started", "w_mono": 11.75},
+            {"event": "heartbeat_lag", "gap_seconds": 0.31, "w_mono": 12.0},
+        ],
+        mono=12.5,
+    ),
     protocol.shutdown(reason="complete"),
 ]
 

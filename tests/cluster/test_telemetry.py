@@ -1,0 +1,75 @@
+"""Unit tests for the worker-side telemetry buffer."""
+
+import pytest
+
+from repro.cluster.telemetry import DEFAULT_BUFFER_CAP, TelemetryBuffer
+
+
+class TestEmit:
+    def test_stamps_worker_monotonic_clock(self):
+        buffer = TelemetryBuffer()
+        buffer.emit({"event": "task", "transition": "exec_started"})
+        [event] = buffer.drain(10)
+        assert isinstance(event["w_mono"], float)
+
+    def test_existing_stamp_is_preserved(self):
+        buffer = TelemetryBuffer()
+        buffer.emit({"event": "task", "w_mono": 42.5})
+        [event] = buffer.drain(10)
+        assert event["w_mono"] == 42.5
+
+    def test_caller_event_dict_not_mutated(self):
+        buffer = TelemetryBuffer()
+        original = {"event": "task"}
+        buffer.emit(original)
+        assert "w_mono" not in original
+
+
+class TestBounding:
+    def test_oldest_events_drop_first(self):
+        buffer = TelemetryBuffer(cap=3)
+        for index in range(5):
+            buffer.emit({"event": "task", "task_id": index, "w_mono": 1.0})
+        assert len(buffer) == 3
+        assert buffer.events_dropped == 2
+        assert buffer.events_buffered == 5
+
+    def test_drop_marker_prepended_on_next_drain(self):
+        buffer = TelemetryBuffer(cap=2)
+        for index in range(4):
+            buffer.emit({"event": "task", "task_id": index, "w_mono": 1.0})
+        batch = buffer.drain(10)
+        assert batch[0]["event"] == "telemetry_dropped"
+        assert batch[0]["dropped"] == 2
+        assert [e["task_id"] for e in batch[1:]] == [2, 3]
+        # The loss is reported exactly once.
+        assert buffer.drain(10) == []
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            TelemetryBuffer(cap=0)
+
+    def test_default_cap(self):
+        assert TelemetryBuffer().cap == DEFAULT_BUFFER_CAP
+
+
+class TestDrain:
+    def test_batches_respect_max_events(self):
+        buffer = TelemetryBuffer()
+        for index in range(5):
+            buffer.emit({"event": "task", "task_id": index, "w_mono": 1.0})
+        first = buffer.drain(3)
+        second = buffer.drain(3)
+        assert [e["task_id"] for e in first] == [0, 1, 2]
+        assert [e["task_id"] for e in second] == [3, 4]
+        assert not buffer
+
+    def test_truthiness_tracks_pending_work(self):
+        buffer = TelemetryBuffer(cap=1)
+        assert not buffer
+        buffer.emit({"event": "task", "w_mono": 1.0})
+        assert buffer
+        buffer.emit({"event": "task", "w_mono": 2.0})  # drops the first
+        buffer.drain(10)
+        # Drained empty, no pending drop report: falsy again.
+        assert not buffer

@@ -278,6 +278,92 @@ class TestSpawnPool:
         assert pooled.cells[0].dead_end_rates == serial.cells[0].dead_end_rates
 
 
+def _traced_grid(jobs, cache_dir=None, resume=False):
+    """Run one tiny grid under fresh instrumentation; return (obs, outcome)."""
+    from repro.observability import (
+        OFF,
+        Instrumentation,
+        MemorySink,
+        StructuredLogger,
+        instrumented,
+    )
+
+    config = tiny_config()
+    obs = Instrumentation(
+        sink=MemorySink(), logger=StructuredLogger(level=OFF)
+    )
+    with instrumented(obs):
+        outcome = run_grid(
+            [(config, "rtsads")],
+            jobs=jobs,
+            cache_dir=cache_dir,
+            resume=resume,
+        )
+    return obs, outcome
+
+
+def _event_keys(sink):
+    """Order-insensitive identity of every traced event (sorted multiset)."""
+    return sorted(
+        (
+            event.get("event"),
+            event.get("task_id"),
+            event.get("transition"),
+            event.get("name"),
+            event.get("seed"),
+        )
+        for event in sink.events
+        if event.get("event") in ("run_start", "run_end", "task", "span")
+    )
+
+
+class TestSweepTracing:
+    """The spawn pool must not lose trace events or counter deltas."""
+
+    @pytest.mark.slow
+    def test_pool_emits_the_same_event_set_as_serial(self):
+        """--trace-out --jobs N captures every cell's events; only the
+        completion order may differ from --jobs 1."""
+        serial_obs, _ = _traced_grid(jobs=1)
+        pooled_obs, _ = _traced_grid(jobs=2)
+        assert len(pooled_obs.sink.events) > 0
+        assert _event_keys(pooled_obs.sink) == _event_keys(serial_obs.sink)
+
+    @pytest.mark.slow
+    def test_pool_cell_counters_match_serial(self):
+        """Counter deltas captured in pool children equal the in-parent
+        deltas of a serial run."""
+        serial_obs, _ = _traced_grid(jobs=1)
+        pooled_obs, _ = _traced_grid(jobs=2)
+        serial_counters = serial_obs.cells[0]["counters"]
+        pooled_counters = pooled_obs.cells[0]["counters"]
+        assert serial_counters  # the run must actually move counters
+        assert pooled_counters == serial_counters
+
+    def test_cache_records_persist_counters(self, tmp_path):
+        """Schema-v2 cache records carry the cell's counter deltas."""
+        _traced_grid(jobs=1, cache_dir=str(tmp_path))
+        record_files = list(tmp_path.glob("*/*-seed*.json"))
+        assert record_files
+        for path in record_files:
+            payload = json.loads(path.read_text())
+            assert payload["schema"] == CACHE_SCHEMA_VERSION
+            assert payload["record"]["counters"]
+
+    def test_cached_cells_report_the_same_counters(self, tmp_path):
+        """A fully resumed sweep (zero executions) reports the same
+        summed counters as the run that populated the cache."""
+        first_obs, first = _traced_grid(jobs=1, cache_dir=str(tmp_path))
+        second_obs, second = _traced_grid(
+            jobs=1, cache_dir=str(tmp_path), resume=True
+        )
+        assert second.stats.executed == 0
+        assert second.stats.cached == first.stats.executed
+        assert (
+            second_obs.cells[0]["counters"] == first_obs.cells[0]["counters"]
+        )
+
+
 @pytest.mark.slow
 class TestClusterCells:
     """Live-cluster cells: never pooled, serialized on the port pool."""

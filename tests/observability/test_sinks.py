@@ -2,6 +2,9 @@
 
 import io
 import json
+import subprocess
+import sys
+import textwrap
 
 import pytest
 
@@ -48,6 +51,51 @@ class TestJsonlSink:
         # Caller owns the stream; the sink must leave it open.
         assert not stream.closed
         assert json.loads(stream.getvalue()) == {"event": "span"}
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        sink.emit({"event": "span"})
+        sink.close()
+        sink.close()  # second close from a re-entered finally: no error
+
+    def test_every_emit_is_flushed(self, tmp_path):
+        """The trace must be readable while the sink is still open —
+        that is what makes a mid-run kill recoverable."""
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        try:
+            sink.emit({"event": "run_start", "tasks": 1})
+            sink.emit({"event": "task", "transition": "arrived"})
+            # No close, no explicit flush: the lines must already be on disk.
+            assert len(read_jsonl(path)) == 2
+        finally:
+            sink.close()
+
+    def test_killed_process_leaves_a_readable_trace(self, tmp_path):
+        """A process that dies without any cleanup (os._exit bypasses
+        atexit, finally, and buffering flushes) must still leave every
+        emitted event parseable on disk."""
+        path = tmp_path / "trace.jsonl"
+        script = tmp_path / "crasher.py"
+        script.write_text(
+            textwrap.dedent(
+                f"""
+                import os
+                from repro.observability import JsonlSink
+
+                sink = JsonlSink({str(path)!r})
+                for index in range(25):
+                    sink.emit({{"event": "task", "task_id": index}})
+                os._exit(1)  # simulated crash: no close, no flush
+                """
+            )
+        )
+        result = subprocess.run(
+            [sys.executable, str(script)], capture_output=True, text=True
+        )
+        assert result.returncode == 1, result.stderr
+        events = read_jsonl(path)
+        assert [e["task_id"] for e in events] == list(range(25))
 
 
 class TestReadJsonl:
