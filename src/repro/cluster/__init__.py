@@ -20,7 +20,7 @@ The CLI surface is ``python -m repro.experiments cluster ...`` or the
 
 from .config import ClusterConfig, build_cluster_workload
 from .failure import FAILURE_EXIT_CODE, FailurePlan, HeartbeatMonitor
-from .launcher import launch_cluster
+from .launcher import launch_cluster, reap_workers, spawn_worker
 from .master import (
     ClusterError,
     ClusterMaster,
@@ -55,6 +55,8 @@ __all__ = [
     "WorkerChannel",
     "build_cluster_workload",
     "launch_cluster",
+    "reap_workers",
     "remap_tasks",
+    "spawn_worker",
     "worker_main",
 ]

@@ -42,26 +42,39 @@ def launch_cluster(
         # processes can't inherit the sink object, but the config flag
         # makes them self-instrument and ship events back over the wire.
         worker_config = worker_config.with_telemetry(True)
-    context = multiprocessing.get_context("spawn")
     workers: List[multiprocessing.Process] = []
     try:
         for index in range(config.num_workers):
-            process = context.Process(
-                target=worker_main,
-                args=(worker_config, index),
-                name=f"repro-worker-{index}",
-                daemon=True,
-            )
-            process.start()
-            workers.append(process)
+            workers.append(spawn_worker(worker_config, index))
         report = master.run()
     finally:
         master.close()
-        _reap(workers, obs)
+        reap_workers(workers, obs)
     return report
 
 
-def _reap(
+def spawn_worker(
+    config: ClusterConfig, index: int
+) -> multiprocessing.Process:
+    """Start one worker process against an already-bound master.
+
+    Used by :func:`launch_cluster` for the initial fleet and by the
+    service runtime for elastic mid-run joins (any non-negative ``index``,
+    including ones beyond the data placement).  The caller owns the
+    returned process and must eventually :func:`reap_workers` it.
+    """
+    context = multiprocessing.get_context("spawn")
+    process = context.Process(
+        target=worker_main,
+        args=(config, index),
+        name=f"repro-worker-{index}",
+        daemon=True,
+    )
+    process.start()
+    return process
+
+
+def reap_workers(
     workers: List[multiprocessing.Process], obs: Instrumentation
 ) -> None:
     """Join, then escalate: no code path may leak a worker process."""

@@ -170,11 +170,9 @@ class ClusterMaster(PhaseHooks):
         self.hub = MessageHub(
             config.host, config.port, instrumentation=self.obs
         )
-        self.records: Dict[int, LiveTaskRecord] = {
-            task.task_id: LiveTaskRecord(task=task) for task in tasks
-        }
+        self.records: Dict[int, LiveTaskRecord] = {}
         self.driver = PhaseDriver(scheduler=self.scheduler, hooks=self)
-        self.driver.stage_arrivals(tasks)
+        self._install_workload(tasks)
         self.workers: Dict[int, _WorkerState] = {}
         self._conn_to_worker: Dict[int, int] = {}
         self.monitor = HeartbeatMonitor(
@@ -191,6 +189,28 @@ class ClusterMaster(PhaseHooks):
         self._phase_cumulative: List[float] = []
         self._t0: Optional[float] = None
         self._start_wall: Optional[float] = None
+
+    def _install_workload(self, tasks: Sequence[Task]) -> None:
+        """Hand the deterministically rebuilt workload to the run.
+
+        Batch mode: every task is known up front — create its record and
+        stage the full arrival stream on the driver.  The streaming
+        service subclass overrides this to keep the tasks as *templates*
+        and mint records per submission instead.
+        """
+        self.records = {
+            task.task_id: LiveTaskRecord(task=task) for task in tasks
+        }
+        self.driver.stage_arrivals(tasks)
+
+    def _template_id(self, task_id: int) -> int:
+        """Template id to stamp on ASSIGN frames for ``task_id``.
+
+        Batch mode dispatches the workload tasks themselves, so the wire
+        default (``-1`` = "task id *is* the template id") is correct; the
+        service subclass maps minted submission ids back to templates.
+        """
+        return -1
 
     # ----- clocks ----------------------------------------------------------
 
@@ -279,21 +299,52 @@ class ClusterMaster(PhaseHooks):
         )
 
     def _register_worker(self, conn_id: int, message: Dict) -> None:
+        """Register a HELLO into the live pool — at startup or mid-run.
+
+        A HELLO after the run started is a *late join*, not a protocol
+        error: the worker enters the alive pool and the next phase
+        schedules onto it.  Indexes beyond the data placement get an empty
+        residency (every access remote) — elastic capacity without
+        re-replicating data.  A HELLO reusing the index of a dead worker
+        is a restart and replaces the dead state (its queue was already
+        surrendered).
+        """
         worker_id = int(message["worker_id"])
-        if worker_id in self.workers:
+        existing = self.workers.get(worker_id)
+        if existing is not None and existing.alive:
             self.obs.logger.warning(
                 "duplicate worker registration", worker=worker_id
             )
             return
+        late = self._t0 is not None
         state = _WorkerState(worker_id=worker_id, conn_id=conn_id)
         self.workers[worker_id] = state
         self._conn_to_worker[conn_id] = worker_id
         self.monitor.register(worker_id, time.monotonic())
         self._observe_clock(worker_id, message.get("mono"))
-        residency = self.database.placement.contents_of(worker_id)
+        placement = self.database.placement
+        if 0 <= worker_id < placement.num_processors:
+            residency = placement.contents_of(worker_id)
+        else:
+            residency = frozenset()
         self.hub.send(conn_id, protocol.welcome(worker_id, residency))
+        if late:
+            self.obs.logger.info(
+                "worker joined mid-run",
+                worker=worker_id,
+                rejoin=existing is not None,
+            )
         if self.obs.enabled:
             self.obs.metrics.counter("cluster_workers_registered").inc()
+            if late:
+                self.obs.metrics.counter("cluster_workers_joined_late").inc()
+                self.obs.emit(
+                    "worker_joined",
+                    worker=worker_id,
+                    t=self.vnow(),
+                    rejoin=existing is not None,
+                    resident=len(residency),
+                )
 
     # ----- main loop -------------------------------------------------------
 
@@ -588,6 +639,7 @@ class ClusterMaster(PhaseHooks):
                 total_cost=entry.total_cost,
                 communication_cost=entry.communication_cost,
                 deadline=entry.task.deadline,
+                template_id=self._template_id(entry.task.task_id),
             ),
         )
         if not sent:

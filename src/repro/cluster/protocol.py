@@ -16,6 +16,22 @@ Message types
 ``HEARTBEAT``  worker -> master: liveness + queue depth.
 ``TELEMETRY``  worker -> master: a batch of buffered trace events.
 ``SHUTDOWN``   master -> worker: drain and exit.
+``SUBMIT``     client -> master: stream one transaction into the service.
+``ACCEPT``     master -> client: submission admitted (task id + deadline).
+``REJECT``     master -> client: submission shed by the admission policy.
+``RESULT``     master -> client: terminal outcome of an accepted submission.
+
+Service mode (protocol v3)
+--------------------------
+In the streaming service mode clients never ship transaction bodies over
+the wire.  A ``SUBMIT`` names a *template* — one of the deterministically
+rebuilt workload transactions both master and workers derive from
+``(experiment, seed)`` — and the master mints a fresh task instance from
+it, stamped with the submission's arrival time.  ``ASSIGN`` therefore
+carries ``template_id`` so workers know which resident transaction body to
+execute for a minted task id.  Every ``SUBMIT`` receives exactly one
+``ACCEPT`` or ``REJECT``, and every ``ACCEPT`` is followed by exactly one
+``RESULT`` (statuses: ``completed``/``expired``/``shed``/``surrendered``).
 
 Clock samples
 -------------
@@ -34,7 +50,8 @@ from typing import Dict, Iterable, List, Sequence
 
 #: Bump on any incompatible change to frame layout or message fields.
 #: v2: TELEMETRY messages; ``mono`` clock samples on HELLO and HEARTBEAT.
-PROTOCOL_VERSION = 2
+#: v3: service-mode SUBMIT/ACCEPT/REJECT/RESULT; ``template_id`` on ASSIGN.
+PROTOCOL_VERSION = 3
 
 #: 4-byte big-endian unsigned payload length.
 HEADER = struct.Struct(">I")
@@ -54,10 +71,29 @@ TASK_DONE = "TASK_DONE"
 HEARTBEAT = "HEARTBEAT"
 TELEMETRY = "TELEMETRY"
 SHUTDOWN = "SHUTDOWN"
+SUBMIT = "SUBMIT"
+ACCEPT = "ACCEPT"
+REJECT = "REJECT"
+RESULT = "RESULT"
 
 MESSAGE_TYPES = frozenset(
-    {HELLO, WELCOME, ASSIGN, TASK_DONE, HEARTBEAT, TELEMETRY, SHUTDOWN}
+    {
+        HELLO,
+        WELCOME,
+        ASSIGN,
+        TASK_DONE,
+        HEARTBEAT,
+        TELEMETRY,
+        SHUTDOWN,
+        SUBMIT,
+        ACCEPT,
+        REJECT,
+        RESULT,
+    }
 )
+
+#: Terminal statuses a RESULT frame may carry.
+RESULT_STATUSES = frozenset({"completed", "expired", "shed", "surrendered"})
 
 
 class ProtocolError(ValueError):
@@ -165,12 +201,17 @@ def assign(
     total_cost: float,
     communication_cost: float,
     deadline: float,
+    template_id: int = -1,
 ) -> Dict[str, object]:
     """One dispatched schedule entry.
 
     ``total_cost`` is the worst case the master budgeted (``p + c``);
     ``communication_cost`` the remote-access share of it; ``deadline`` the
     absolute deadline in virtual units for the worker's own bookkeeping.
+    ``template_id`` names the workload transaction to execute when it
+    differs from ``task_id`` (service mode mints fresh task ids per
+    submission); ``-1`` means "the task id is the template id" (batch
+    mode).
     """
     return {
         "type": ASSIGN,
@@ -179,6 +220,7 @@ def assign(
         "total_cost": total_cost,
         "communication_cost": communication_cost,
         "deadline": deadline,
+        "template_id": template_id,
     }
 
 
@@ -232,3 +274,70 @@ def telemetry(
 
 def shutdown(reason: str = "complete") -> Dict[str, object]:
     return {"type": SHUTDOWN, "reason": reason}
+
+
+def submit(
+    request_id: int,
+    template_id: int,
+    relative_deadline: float = 0.0,
+    mono: float = 0.0,
+) -> Dict[str, object]:
+    """Stream one transaction into the service.
+
+    ``request_id`` is client-scoped (echoed on ACCEPT/REJECT/RESULT so the
+    client can correlate); ``template_id`` names the workload transaction
+    to instantiate; ``relative_deadline`` is the deadline in virtual units
+    past the master-observed arrival time (``<= 0`` means "use the
+    template's own laxity"); ``mono`` is a clock-offset sample.
+    """
+    return {
+        "type": SUBMIT,
+        "request_id": request_id,
+        "template_id": template_id,
+        "relative_deadline": relative_deadline,
+        "mono": mono,
+    }
+
+
+def accept(request_id: int, task_id: int, deadline: float) -> Dict[str, object]:
+    """Submission admitted: the minted task id and its absolute deadline."""
+    return {
+        "type": ACCEPT,
+        "request_id": request_id,
+        "task_id": task_id,
+        "deadline": deadline,
+    }
+
+
+def reject(request_id: int, reason: str, policy: str) -> Dict[str, object]:
+    """Submission shed at admission by ``policy`` (e.g. ``backlog-full``)."""
+    return {
+        "type": REJECT,
+        "request_id": request_id,
+        "reason": reason,
+        "policy": policy,
+    }
+
+
+def result(
+    request_id: int,
+    task_id: int,
+    status: str,
+    met_deadline: bool,
+    finished_at: float,
+) -> Dict[str, object]:
+    """Terminal outcome of an accepted submission.
+
+    ``status`` is one of :data:`RESULT_STATUSES`; ``finished_at`` is the
+    virtual time the task reached that status (0 when never dispatched).
+    """
+    if status not in RESULT_STATUSES:
+        raise ProtocolError(f"unknown result status {status!r}")
+    return {
+        "type": RESULT,
+        "request_id": request_id,
+        "task_id": task_id,
+        "status": status,
+        "met_deadline": met_deadline,
+        "finished_at": finished_at,
+    }

@@ -60,10 +60,10 @@ class ClusterWorker:
         index: int,
         instrumentation: Optional[Instrumentation] = None,
     ) -> None:
-        if not 0 <= index < config.num_workers:
-            raise ValueError(
-                f"worker index {index} outside [0, {config.num_workers})"
-            )
+        # Indexes at or beyond num_workers are legal: elastic workers that
+        # join a live pool hold no data residency but add capacity.
+        if index < 0:
+            raise ValueError(f"worker index {index} must be non-negative")
         self.config = config
         self.index = index
         self._telemetry: Optional[TelemetryBuffer] = None
@@ -98,11 +98,16 @@ class ClusterWorker:
         self.estimates: Dict[int, float] = {
             task.task_id: task.processing_time for task in tasks
         }
-        self.residency = frozenset(
-            self.database.placement.contents_of(index)
-        )
-        self._local = self.database.executor_for(index)
+        placement = self.database.placement
         self._global = self.database.global_executor()
+        if 0 <= index < placement.num_processors:
+            self.residency = frozenset(placement.contents_of(index))
+            self._local = self.database.executor_for(index)
+        else:
+            # Elastic joiner beyond the data placement: nothing resident,
+            # every partition access goes through the global executor.
+            self.residency = frozenset()
+            self._local = self._global
         self.tasks_done = 0
         self._queue: Deque[Dict[str, object]] = deque()
         self._channel: Optional[WorkerChannel] = None
@@ -142,7 +147,8 @@ class ClusterWorker:
         )
         deadline = time.monotonic() + self.config.startup_timeout
         while time.monotonic() < deadline:
-            for message in channel.poll(self.config.poll_interval):
+            messages = channel.poll(self.config.poll_interval)
+            for position, message in enumerate(messages):
                 if message.get("type") == protocol.WELCOME:
                     granted = frozenset(message.get("residency", ()))
                     if granted != self.residency:
@@ -161,6 +167,17 @@ class ClusterWorker:
                             residency=sorted(self.residency),
                         )
                     self._flush_telemetry()
+                    # The master may pipeline work right behind the
+                    # WELCOME (service mode dispatches the moment the
+                    # fleet is up), so frames can share this poll batch.
+                    for trailing in messages[position + 1:]:
+                        if trailing.get("type") == protocol.ASSIGN:
+                            self._queue.append(trailing)
+                        else:
+                            self.obs.logger.warning(
+                                "unexpected message behind WELCOME",
+                                type=trailing.get("type"),
+                            )
                     return
             self._maybe_die()
         raise ConnectionLost(
@@ -209,9 +226,18 @@ class ClusterWorker:
 
     def _execute(self, assignment: Dict[str, object]) -> None:
         task_id = int(assignment["task_id"])
-        txn = self.transactions.get(task_id)
+        # Service mode mints fresh task ids per submission; the ASSIGN then
+        # carries the workload template to actually execute.  -1 (or an
+        # absent field from a v2-era test double) means batch mode, where
+        # the task id is the template id.
+        template_id = int(assignment.get("template_id", -1))
+        if template_id < 0:
+            template_id = task_id
+        txn = self.transactions.get(template_id)
         if txn is None:
-            self.obs.logger.warning("unknown task assigned", task=task_id)
+            self.obs.logger.warning(
+                "unknown task assigned", task=task_id, template=template_id
+            )
             return
         if self.obs.enabled:
             self.obs.emit(
@@ -232,7 +258,7 @@ class ClusterWorker:
         actual_units = outcome.cost + communication
         estimate_units = float(
             assignment.get(
-                "total_cost", self.estimates.get(task_id, outcome.cost)
+                "total_cost", self.estimates.get(template_id, outcome.cost)
             )
         )
         elapsed = time.perf_counter() - started

@@ -22,6 +22,7 @@ class Batch:
         self.total_admitted = 0
         self.total_scheduled = 0
         self.total_expired = 0
+        self.total_withdrawn = 0
         self.add_arrivals(tasks)
 
     def __len__(self) -> int:
@@ -66,6 +67,21 @@ class Batch:
             removed.append(task)
         self.total_scheduled += len(removed)
         return removed
+
+    def withdraw(self, task_ids: Iterable[int]) -> List[Task]:
+        """Remove tasks shed by an admission policy before any phase took them.
+
+        Unlike :meth:`remove_scheduled`, missing ids are skipped (the task
+        may have expired or been scheduled since the shed decision) and the
+        removals count as ``total_withdrawn``, not ``total_scheduled``.
+        """
+        withdrawn = []
+        for task_id in task_ids:
+            task = self._tasks.pop(task_id, None)
+            if task is not None:
+                withdrawn.append(task)
+        self.total_withdrawn += len(withdrawn)
+        return withdrawn
 
     def drop_expired(self, now: float) -> List[Task]:
         """Evict tasks satisfying ``p_i + t_c > d_i`` (hopeless at ``now``)."""

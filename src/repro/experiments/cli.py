@@ -51,6 +51,7 @@ from .extensions import (
     extension_failures,
     extension_reclaiming,
     extension_write_mix,
+    service_curve,
 )
 from .figures import (
     ablation_cost,
@@ -83,6 +84,10 @@ EXPERIMENTS = (
 #: pure-simulation sweep safe for any sandbox).
 CLUSTER_COMMAND = "cluster"
 
+#: Also real processes (one service lifetime per cell) — selectable by
+#: name, excluded from "all" for the same reason as 'cluster'.
+SERVICE_CURVE_COMMAND = "service-curve"
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (kept separate so tests can drive it)."""
@@ -95,10 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("all", CLUSTER_COMMAND),
+        choices=EXPERIMENTS + ("all", CLUSTER_COMMAND, SERVICE_CURVE_COMMAND),
         help=(
             "which experiment to run; 'cluster' runs the live master/worker "
-            "system over localhost TCP instead of the simulator"
+            "system over localhost TCP instead of the simulator; "
+            "'service-curve' sweeps compliance-under-load on the live "
+            "streaming service (see also: repro serve / repro load)"
         ),
     )
     scale = parser.add_mutually_exclusive_group()
@@ -131,7 +138,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=BACKEND_NAMES,
         help=(
             "execution backend for every cell: 'sim' (virtual-clock "
-            "simulator, the default) or 'cluster' (live TCP processes)"
+            "simulator, the default), 'cluster' (live TCP processes), or "
+            "'service' (live streaming service under open-loop load)"
         ),
     )
     sweeps = parser.add_argument_group(
@@ -338,6 +346,7 @@ EXPERIMENT_BUILDERS = {
     "load-sweep": extension_load_sweep,
     "write-mix": extension_write_mix,
     "failures": extension_failures,
+    SERVICE_CURVE_COMMAND: service_curve,
 }
 
 
@@ -378,7 +387,7 @@ def export_figure_json(path: str, name: str, result) -> None:
     else:
         raise ValueError(
             f"experiment {name!r} has no figure data to export; "
-            "--export supports fig5, fig6, and laxity"
+            "--export supports fig5, fig6, laxity, and service-curve"
         )
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
@@ -473,12 +482,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .trace_cli import trace_main
 
         return trace_main(arglist[1:])
+    if arglist and arglist[0] == "serve":
+        # Service mode has its own grammar too (see service_cli).
+        from .service_cli import serve_main
+
+        return serve_main(arglist[1:])
+    if arglist and arglist[0] == "load":
+        from .service_cli import load_main
+
+        return load_main(arglist[1:])
     parser = build_parser()
     args = parser.parse_args(arglist)
     if args.experiment == CLUSTER_COMMAND:
         return run_cluster(args)
-    if args.export and args.experiment not in ("fig5", "fig6", "laxity"):
-        parser.error("--export requires fig5, fig6, or laxity")
+    if args.export and args.experiment not in (
+        "fig5", "fig6", "laxity", SERVICE_CURVE_COMMAND
+    ):
+        parser.error(
+            "--export requires fig5, fig6, laxity, or service-curve"
+        )
     config = config_from_args(args)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
 

@@ -14,6 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Optional, Tuple
 
+from ..service.admission import ADMISSION_POLICY_NAMES
+from ..workload.arrivals import ARRIVAL_NAMES
+
 #: Fields describing *how* a sweep executes (parallelism, caching) rather
 #: than *what* it computes.  They are excluded from
 #: :meth:`ExperimentConfig.cache_fields`, so changing them can never
@@ -64,10 +67,23 @@ class ExperimentConfig:
 
     # --- execution ---
     # Registry name of the ExecutionBackend the runner dispatches to
-    # ("sim" = virtual-clock simulator, "cluster" = live TCP system).
+    # ("sim" = virtual-clock simulator, "cluster" = live TCP system,
+    # "service" = long-lived streaming service under open-loop load).
     # Kept a plain string so configs stay picklable and open to backends
     # registered by downstream code.
     backend: str = "sim"
+
+    # --- service mode (see src/repro/service/; ignored by sim/cluster) ---
+    # Arrival-process name for the open-loop load generator (a key of
+    # repro.workload.arrivals.ARRIVAL_NAMES), the offered load as a
+    # fraction of fleet capacity (1.0 = mean arrival work == what the
+    # workers can clear), and the admission/overload-shedding policy
+    # (a key of repro.service.admission.ADMISSION_POLICY_NAMES).  They
+    # are ordinary cache fields, so load-curve grids are content-addressed
+    # like every other sweep axis.
+    arrival: str = "burst"
+    offered_load: float = 1.0
+    admission_policy: str = "reject-newest"
 
     # --- sweep execution (see experiments/sweep.py) ---
     # How the cell grid executes: worker processes to fan cells across
@@ -98,6 +114,17 @@ class ExperimentConfig:
             raise ValueError("runs must be positive")
         if not self.backend:
             raise ValueError("backend must be a non-empty registry name")
+        if self.arrival not in ARRIVAL_NAMES:
+            raise ValueError(
+                f"arrival must be one of {ARRIVAL_NAMES}, got {self.arrival!r}"
+            )
+        if self.offered_load <= 0:
+            raise ValueError("offered_load must be positive")
+        if self.admission_policy not in ADMISSION_POLICY_NAMES:
+            raise ValueError(
+                f"admission_policy must be one of {ADMISSION_POLICY_NAMES}, "
+                f"got {self.admission_policy!r}"
+            )
         if self.jobs <= 0:
             raise ValueError("jobs must be positive (1 = serial)")
         if self.resume and self.cache_dir is None:
@@ -164,6 +191,18 @@ class ExperimentConfig:
         """A copy dispatching to another execution backend registry name."""
         return replace(self, backend=backend)
 
+    def with_offered_load(self, offered_load: float) -> "ExperimentConfig":
+        """A copy with ``offered_load`` replaced (load-curve sweep axis)."""
+        return replace(self, offered_load=offered_load)
+
+    def with_arrival(self, arrival: str) -> "ExperimentConfig":
+        """A copy with the service arrival-process name replaced."""
+        return replace(self, arrival=arrival)
+
+    def with_admission_policy(self, policy: str) -> "ExperimentConfig":
+        """A copy with the service admission policy replaced."""
+        return replace(self, admission_policy=policy)
+
     def with_execution(
         self,
         jobs: Optional[int] = None,
@@ -217,3 +256,6 @@ REPLICATION_SWEEP: Tuple[float, ...] = (
     0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
 )
 SLACK_FACTOR_SWEEP: Tuple[float, ...] = (1.0, 2.0, 3.0)
+#: Offered-load axis of the service compliance-under-load curve: from
+#: comfortable headroom through saturation into 1.6x overload.
+OFFERED_LOAD_SWEEP: Tuple[float, ...] = (0.6, 0.9, 1.2, 1.6)

@@ -15,12 +15,18 @@ These exercise directions the paper points at but does not evaluate:
 * :func:`ablation_interconnect` — A4, drops the wormhole
   (distance-independent) communication assumption and replaces the constant
   ``C`` with store-and-forward costs over a 2-D mesh.
+* :func:`service_curve` — X5, deadline compliance under open-loop load on
+  the *live* streaming service: one service lifetime per cell, shedding
+  policies compared across offered-load points.
 
-All return :class:`~repro.experiments.figures.AblationResult`-style tables.
+All return :class:`~repro.experiments.figures.AblationResult`-style tables
+(:func:`service_curve` returns a figure-bearing
+:class:`~repro.experiments.figures.SweepResult`).
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Optional, Sequence
 
 from ..core.affinity import UniformCommunicationModel
@@ -37,8 +43,8 @@ from ..workload.transactions import (
     TransactionWorkloadConfig,
     TransactionWorkloadGenerator,
 )
-from .config import ExperimentConfig
-from .figures import DISPLAY_NAMES, AblationResult
+from .config import OFFERED_LOAD_SWEEP, ExperimentConfig
+from .figures import DISPLAY_NAMES, AblationResult, SweepResult
 from .runner import build_scheduler, build_workload
 
 
@@ -332,3 +338,62 @@ def ablation_interconnect(
         + [DISPLAY_NAMES.get(n, n) + " hit %" for n in scheduler_names],
         rows=rows,
     )
+
+
+def service_curve(
+    config: Optional[ExperimentConfig] = None,
+    loads: Sequence[float] = OFFERED_LOAD_SWEEP,
+    policies: Sequence[str] = ("reject-newest", "least-slack"),
+    scheduler: str = "rtsads",
+    arrival: str = "poisson",
+) -> SweepResult:
+    """X5: deadline compliance under open-loop load, live service mode.
+
+    One cell = one full service lifetime: master + worker fleet + the
+    in-process load generator at the cell's offered load, ended by idle
+    drain.  Compliance is measured against *offered* load (rejected and
+    shed submissions count as misses), so the curves answer the question
+    a shedding policy exists for: how much of what was asked for was
+    delivered on time as the stream crosses capacity.
+
+    Every cell is a plain ``ExperimentConfig`` on the ``service`` backend,
+    so the grid runs through :func:`~repro.experiments.sweep.run_grid` —
+    cells cache, resume, and export exactly like the simulator figures
+    (service cells are serial; ``--jobs`` fan-out does not apply).
+    """
+    from ..metrics.reporting import FigureData
+    from .sweep import run_grid
+
+    config = config or ExperimentConfig.quick()
+    # A sustained stream by default: the config's "burst" drops the whole
+    # workload at t=0, which probes overload recovery, not offered load.
+    base = replace(config, backend="service", arrival=arrival)
+    specs = [
+        (base.with_admission_policy(p).with_offered_load(x), scheduler)
+        for p in policies
+        for x in loads
+    ]
+    grid = iter(run_grid(specs).cells)
+    cells = {}
+    for policy in policies:
+        for x in loads:
+            cells[(policy, x)] = next(grid)
+    figure = FigureData(
+        title=(
+            "X5 - Compliance under open-loop load, live service "
+            f"(P={base.num_processors}, {base.arrival} arrivals, "
+            f"{DISPLAY_NAMES.get(scheduler, scheduler)})"
+        ),
+        x_label="offered load",
+        x_values=list(loads),
+        notes=[
+            "y values are deadline hits as % of *submitted* work "
+            f"over {base.runs} service lifetime(s) per cell",
+            "shed and rejected submissions count as misses",
+        ],
+    )
+    for policy in policies:
+        figure.add_series(
+            policy, [cells[(policy, x)].mean_hit_percent for x in loads]
+        )
+    return SweepResult(figure=figure, cells=cells)

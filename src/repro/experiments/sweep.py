@@ -67,7 +67,7 @@ DEFAULT_CACHE_DIR = "results/cache"
 #: Backends whose cells must not run concurrently: each live-cluster cell
 #: spawns its own OS processes and binds a TCP listener, so the engine
 #: runs them one at a time in the parent on a bounded port pool.
-SERIAL_BACKENDS = frozenset({"cluster"})
+SERIAL_BACKENDS = frozenset({"cluster", "service"})
 
 
 # ----- the unit of work ------------------------------------------------------

@@ -24,6 +24,7 @@ from .report import RunReport
 _BUILTIN_MODULES = {
     "sim": "repro.runtime.sim",
     "cluster": "repro.runtime.live",
+    "service": "repro.runtime.service",
 }
 
 #: The backends every installation has (CLI choices, config validation).

@@ -177,6 +177,29 @@ class PhaseDriver:
         """Count one fail-stopped worker (live cluster failure path)."""
         self.workers_lost += 1
 
+    def withdraw(self, task_ids: Sequence[int]) -> List[Task]:
+        """Shed admitted-but-undispatched tasks (service overload policies).
+
+        Removes the named tasks from the pending set and the current batch
+        and returns the :class:`~repro.core.task.Task` objects actually
+        withdrawn.  Ids that are not waiting (already dispatched, expired,
+        or unknown) are silently skipped — the caller decides what that
+        means.  Withdrawn tasks carry no guarantee, so nothing is revoked.
+        """
+        wanted = set(task_ids)
+        if not wanted:
+            return []
+        withdrawn: List[Task] = []
+        kept: List[Task] = []
+        for task in self._pending:
+            if task.task_id in wanted:
+                withdrawn.append(task)
+            else:
+                kept.append(task)
+        self._pending = kept
+        withdrawn.extend(self.batch.withdraw(wanted))
+        return withdrawn
+
     def surrender(self, tasks: Sequence[Task]) -> int:
         """Failure remap: requeue tasks whose processor was lost.
 

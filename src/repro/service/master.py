@@ -1,0 +1,499 @@
+"""The long-lived scheduler service: ClusterMaster under open-loop load.
+
+:class:`ServiceMaster` keeps everything that makes the batch master honest
+— wall-clock phases, dispatch-time guarantee re-checks, heartbeat failure
+detection, telemetry merging — and replaces the closed workload with a
+stream: clients ``SUBMIT`` transactions over the wire, the admission layer
+(:mod:`~repro.service.admission`) accepts or sheds each one, and every
+accepted submission is answered with exactly one terminal ``RESULT``.
+
+**Templates, not payloads.**  The deterministically rebuilt workload tasks
+become a *template universe* shared by master and workers through
+``(experiment, seed)``.  A ``SUBMIT`` names a template; the master mints a
+fresh task id, stamps the arrival at the master-observed virtual now, and
+derives the absolute deadline from the submission's relative deadline (or
+the template's own laxity).  ``ASSIGN`` carries the template id so workers
+execute the right resident transaction for a minted task.
+
+**Result discipline.**  A record leaves :attr:`ClusterMaster.records` the
+moment its RESULT is sent; aggregate counters carry the history.  That
+bounds the master's memory by work-in-flight, not by service lifetime —
+the property that lets the process run indefinitely.
+
+**Termination.**  The run ends by :meth:`request_stop` (SIGTERM), by the
+``max_service_seconds`` duration cap, or — for harness runs — by going
+idle after serving at least one client.  All three paths drain: admission
+flips to rejecting (reason ``draining``), in-flight work gets
+``drain_grace_seconds`` to finish, and whatever remains is *surrendered* —
+guarantee revoked, RESULT ``surrendered`` sent — so no client is ever left
+waiting on a frame that will not come.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster import protocol
+from ..cluster.master import (
+    COMPLETED,
+    DISPATCHED,
+    PENDING,
+    ClusterMaster,
+    ClusterTimeoutError,
+    LiveTaskRecord,
+)
+from ..cluster.network import CONNECT, DISCONNECT, MESSAGE, NetworkEvent
+from ..core.task import Task
+from ..observability import Instrumentation
+from ..runtime.report import RunReport
+from .admission import AdmissionState, QueuedTask, build_policy
+from .config import ServiceConfig
+
+#: Service-only terminal states (the batch ones come from the master).
+SHED = "shed"
+SURRENDERED = "surrendered"
+
+
+@dataclass
+class ServiceTaskRecord(LiveTaskRecord):
+    """One accepted submission's lifecycle, routed back to its client."""
+
+    client_conn: int = -1
+    request_id: int = -1
+    template_id: int = -1
+    result_sent: bool = False
+
+
+class ServiceMaster(ClusterMaster):
+    """Accepts submission streams, schedules them, answers every one."""
+
+    def __init__(
+        self,
+        service: ServiceConfig,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
+        self.service = service
+        super().__init__(service.cluster, instrumentation=instrumentation)
+        self.policy = build_policy(service.admission_policy)
+        templates = self.templates.values()
+        costs = [t.processing_time for t in templates]
+        laxities = [t.deadline - t.arrival_time for t in templates]
+        self.mean_template_cost = sum(costs) / len(costs)
+        mean_laxity = sum(laxities) / len(laxities)
+        self.capacity_units = service.max_backlog_units or (
+            self.config.num_workers * mean_laxity
+        )
+        self._next_task_id = max(self.templates) + 1
+        # Submission accounting (aggregate; records prune on RESULT).
+        self.submitted = 0
+        self.accepted = 0
+        self.rejected = 0
+        self._terminal = {"completed": 0, "hits": 0, "expired": 0, SHED: 0, SURRENDERED: 0}
+        self._max_finished_v = 0.0
+        # Client connections currently open (conn_id -> submissions seen).
+        self._clients: Dict[int, int] = {}
+        self._had_client = False
+        # SUBMITs landing before the fleet is ready queue here and replay
+        # at virtual time zero — nothing is lost to the startup barrier.
+        self._pre_start: List[Tuple[int, Dict]] = []
+        self._backpressure = False
+        self._stop_requested = False
+        self._stop_reason = ""
+        self._draining = False
+        self._drain_reason = ""
+        self._drain_deadline_wall = 0.0
+
+    # ----- workload installation (templates, not staged arrivals) -----------
+
+    def _install_workload(self, tasks: Sequence[Task]) -> None:
+        """Keep the rebuilt workload as the template universe."""
+        self.templates: Dict[int, Task] = {t.task_id: t for t in tasks}
+        self.records = {}
+
+    def _template_id(self, task_id: int) -> int:
+        record = self.records.get(task_id)
+        if isinstance(record, ServiceTaskRecord):
+            return record.template_id
+        return -1
+
+    # ----- stop / drain ------------------------------------------------------
+
+    def request_stop(self, reason: str = "stop-requested") -> None:
+        """Ask the run to drain and exit (signal-handler safe)."""
+        self._stop_reason = reason
+        self._stop_requested = True
+
+    @property
+    def draining(self) -> bool:
+        """Whether admission is closed and the run is winding down."""
+        return self._draining
+
+    def _stop_due(self, now_wall: float) -> str:
+        """The drain reason that applies right now ('' = keep serving)."""
+        if self._stop_requested:
+            return self._stop_reason or "stop-requested"
+        limit = self.service.max_service_seconds
+        if limit > 0 and self._t0 is not None and (
+            now_wall - self._t0 >= limit
+        ):
+            return "duration"
+        if (
+            self.service.stop_when_idle
+            and self._had_client
+            and not self._clients
+            and not self.records
+            and not self.driver.has_backlog()
+        ):
+            return "idle"
+        return ""
+
+    def _begin_drain(self, reason: str, now_wall: float) -> None:
+        self._draining = True
+        self._drain_reason = reason
+        self._drain_deadline_wall = now_wall + self.service.drain_grace_seconds
+        self.obs.logger.info(
+            "service draining",
+            reason=reason,
+            in_flight=len(self.records),
+        )
+        if self.obs.enabled:
+            self.obs.emit(
+                "drain_start",
+                reason=reason,
+                t=self.vnow(),
+                in_flight=len(self.records),
+            )
+
+    def _surrender_unfinished(self) -> None:
+        """Terminal sweep: every record still open becomes ``surrendered``.
+
+        Pending work is withdrawn from the driver; dispatched work has its
+        guarantee revoked (surrendered, not violated — the paper's
+        discipline survives shutdown).  Every client gets its RESULT, and
+        a few extra poll ticks flush the outboxes before SHUTDOWN.
+        """
+        now_v = self.vnow()
+        leftover = list(self.records.values())
+        self.driver.withdraw(
+            [r.task.task_id for r in leftover if r.status == PENDING]
+        )
+        for record in leftover:
+            if record.status == DISPATCHED:
+                self.driver.revoke(record.task.task_id)
+            record.status = SURRENDERED
+            if self.obs.enabled:
+                self.obs.emit(
+                    "task",
+                    transition="surrendered",
+                    task_id=record.task.task_id,
+                    t=now_v,
+                    deadline=record.task.deadline,
+                    met_deadline=False,
+                )
+            self._send_result(record, SURRENDERED, now_v)
+        if self.obs.enabled:
+            self.obs.emit(
+                "drain_end",
+                reason=self._drain_reason,
+                t=now_v,
+                surrendered=len(leftover),
+            )
+        for _ in range(3):
+            self.hub.poll(0.02)
+
+    # ----- main loop ---------------------------------------------------------
+
+    def _loop(self) -> None:
+        config = self.config
+        self._replay_pre_start()
+        while True:
+            for event in self.hub.poll(config.poll_interval):
+                self._handle_event(event)
+            now_wall = time.monotonic()
+            for worker_id in self.monitor.expired(now_wall):
+                self._worker_lost(worker_id, reason="missed heartbeats")
+            if now_wall - self._start_wall > config.max_wall_seconds:
+                raise ClusterTimeoutError(
+                    f"service run exceeded {config.max_wall_seconds}s; "
+                    "aborting and shutting the cluster down"
+                )
+            if not self._draining:
+                reason = self._stop_due(now_wall)
+                if reason:
+                    self._begin_drain(reason, now_wall)
+            self._schedule_ready_work()
+            if self._draining and (
+                self._finished() or time.monotonic() >= self._drain_deadline_wall
+            ):
+                self._surrender_unfinished()
+                return
+
+    def _replay_pre_start(self) -> None:
+        """Admit SUBMITs that raced the startup barrier, in arrival order."""
+        queued, self._pre_start = self._pre_start, []
+        for conn_id, message in queued:
+            self._admit_submission(conn_id, message)
+
+    def _handle_event(self, event: NetworkEvent) -> None:
+        if event.kind == CONNECT:
+            # Tentatively a client; a worker's HELLO reclassifies it.
+            self._clients.setdefault(event.conn_id, 0)
+            return
+        if event.kind == MESSAGE:
+            kind = event.message.get("type")
+            if kind == protocol.SUBMIT:
+                self._on_submit(event.conn_id, event.message)
+                return
+            if kind == protocol.HELLO:
+                self._clients.pop(event.conn_id, None)
+        if event.kind == DISCONNECT and event.conn_id in self._clients:
+            self._clients.pop(event.conn_id, None)
+            self.obs.logger.info("client disconnected", conn=event.conn_id)
+            return
+        super()._handle_event(event)
+
+    # ----- admission ---------------------------------------------------------
+
+    def _on_submit(self, conn_id: int, message: Dict) -> None:
+        if self._t0 is None:
+            self._pre_start.append((conn_id, message))
+            return
+        self._admit_submission(conn_id, message)
+
+    def _admit_submission(self, conn_id: int, message: Dict) -> None:
+        self._clients[conn_id] = self._clients.get(conn_id, 0) + 1
+        self._had_client = True
+        self.submitted += 1
+        request_id = int(message["request_id"])
+        if self._draining:
+            self._reject(conn_id, request_id, "draining")
+            return
+        template = self.templates.get(int(message["template_id"]))
+        if template is None:
+            self._reject(conn_id, request_id, "unknown-template")
+            return
+        now_v = self.vnow()
+        relative = float(message.get("relative_deadline") or 0.0)
+        if relative <= 0.0:
+            relative = template.deadline - template.arrival_time
+        task_id = self._next_task_id
+        task = replace(
+            template,
+            task_id=task_id,
+            arrival_time=now_v,
+            deadline=now_v + relative,
+        )
+        cost = template.processing_time
+        state = self._admission_state(now_v)
+        decision = self.policy.decide(task, cost, state)
+        for shed_id in decision.shed:
+            self._shed_task(shed_id, now_v)
+        if not decision.accept:
+            self._reject(conn_id, request_id, decision.reason)
+            self._note_backpressure(True)
+            return
+        self._next_task_id += 1
+        self.accepted += 1
+        record = ServiceTaskRecord(
+            task=task,
+            client_conn=conn_id,
+            request_id=request_id,
+            template_id=template.task_id,
+        )
+        self.records[task_id] = record
+        self.driver.admit([task])
+        self.hub.send(
+            conn_id, protocol.accept(request_id, task_id, task.deadline)
+        )
+        if self.obs.enabled:
+            self.obs.metrics.counter("service_accepted").inc()
+            self.obs.emit(
+                "task",
+                transition="admitted",
+                task_id=task_id,
+                t=now_v,
+                arrival=task.arrival_time,
+                deadline=task.deadline,
+                template=template.task_id,
+                policy=self.policy.name,
+            )
+        if decision.shed:
+            self._note_backpressure(True)
+        elif state.backlog_units() + cost < 0.8 * state.capacity_units:
+            self._note_backpressure(False)
+
+    def _admission_state(self, now_v: float) -> AdmissionState:
+        pending: List[QueuedTask] = []
+        outstanding: List[QueuedTask] = []
+        for record in self.records.values():
+            view = QueuedTask(
+                task_id=record.task.task_id,
+                cost=record.planned_cost or record.task.processing_time,
+                deadline=record.task.deadline,
+            )
+            if record.status == PENDING:
+                pending.append(view)
+            elif record.status == DISPATCHED:
+                outstanding.append(view)
+        return AdmissionState(
+            now=now_v,
+            workers=len(self._alive_workers()),
+            capacity_units=self.capacity_units,
+            pending=tuple(pending),
+            outstanding=tuple(outstanding),
+        )
+
+    def _reject(self, conn_id: int, request_id: int, reason: str) -> None:
+        self.rejected += 1
+        self.hub.send(
+            conn_id, protocol.reject(request_id, reason, self.policy.name)
+        )
+        if self.obs.enabled:
+            self.obs.metrics.counter("service_rejected").inc()
+            self.obs.emit(
+                "submission_rejected",
+                request=request_id,
+                t=self.vnow(),
+                reason=reason,
+                policy=self.policy.name,
+            )
+
+    def _shed_task(self, task_id: int, now_v: float) -> None:
+        """Withdraw one admitted-but-undispatched task (policy decision)."""
+        record = self.records.get(task_id)
+        if record is None or record.status != PENDING:
+            return
+        self.driver.withdraw([task_id])
+        record.status = SHED
+        if self.obs.enabled:
+            self.obs.metrics.counter("service_shed").inc()
+            self.obs.emit(
+                "task",
+                transition="shed",
+                task_id=task_id,
+                t=now_v,
+                deadline=record.task.deadline,
+                policy=self.policy.name,
+                met_deadline=False,
+            )
+        self._send_result(record, SHED, now_v)
+
+    def _note_backpressure(self, engaged: bool) -> None:
+        """Record open <-> shedding transitions of the admission layer."""
+        if engaged == self._backpressure:
+            return
+        self._backpressure = engaged
+        state = "shedding" if engaged else "open"
+        self.obs.logger.info("backpressure", state=state)
+        if self.obs.enabled:
+            self.obs.metrics.counter("service_backpressure_flips").inc()
+            self.obs.emit("backpressure", state=state, t=self.vnow())
+
+    # ----- results back to clients -------------------------------------------
+
+    def _send_result(
+        self, record: ServiceTaskRecord, status: str, now_v: float
+    ) -> None:
+        """Send the one terminal RESULT for ``record`` and prune it.
+
+        Pruning is what bounds master memory over an unbounded run; the
+        aggregate ``_terminal`` counters keep the history the report
+        needs.  A dead client connection just drops the frame — the
+        record still settles.
+        """
+        if record.result_sent:
+            return
+        record.result_sent = True
+        met = record.met_deadline
+        finished = record.finished_at if record.finished_at is not None else 0.0
+        self.hub.send(
+            record.client_conn,
+            protocol.result(
+                record.request_id,
+                record.task.task_id,
+                status,
+                met,
+                finished,
+            ),
+        )
+        self._terminal[status] += 1
+        if status == "completed":
+            if met:
+                self._terminal["hits"] += 1
+            self._max_finished_v = max(self._max_finished_v, finished)
+        self.records.pop(record.task.task_id, None)
+
+    def _on_task_done(self, message: Dict) -> None:
+        super()._on_task_done(message)
+        record = self.records.get(int(message["task_id"]))
+        if (
+            isinstance(record, ServiceTaskRecord)
+            and record.status == COMPLETED
+        ):
+            self._send_result(
+                record, "completed", record.finished_at or self.vnow()
+            )
+
+    def on_task_expired(self, task: Task, now: float) -> None:
+        super().on_task_expired(task, now)
+        record = self.records.get(task.task_id)
+        if isinstance(record, ServiceTaskRecord):
+            self._send_result(record, "expired", now)
+
+    # ----- report ------------------------------------------------------------
+
+    def _build_report(self) -> RunReport:
+        terminal = self._terminal
+        completed = terminal["completed"]
+        hits = terminal["hits"]
+        failed = self.rejected + terminal[SHED] + terminal[SURRENDERED]
+        makespan = self._max_finished_v or self.vnow()
+        wall = (
+            time.monotonic() - self._start_wall
+            if self._start_wall is not None
+            else 0.0
+        )
+        if self.obs.enabled:
+            self.obs.emit(
+                "run_end",
+                workers=self.config.num_workers,
+                tasks=self.submitted,
+                deadline_hits=hits,
+                phases=len(self.driver.phases),
+                makespan=float(makespan),
+            )
+        return RunReport(
+            backend="service",
+            scheduler_name=self.scheduler.name,
+            num_workers=self.config.num_workers,
+            seed=self.config.experiment.base_seed,
+            # Compliance is judged against *offered* load: every
+            # submission counts, so shedding is paid for in hit_ratio.
+            total_tasks=self.submitted,
+            guaranteed=self.driver.guaranteed_count,
+            completed=completed,
+            deadline_hits=hits,
+            completed_late=completed - hits,
+            expired=terminal["expired"],
+            failed=failed,
+            guaranteed_violations=self.guaranteed_violations,
+            reschedules=self.driver.reschedules,
+            workers_lost=self.driver.workers_lost,
+            makespan=float(makespan),
+            wall_seconds=wall,
+            phases=self.driver.phases,
+            extras={
+                "port": self.port,
+                "policy": self.policy.name,
+                "submitted": self.submitted,
+                "accepted": self.accepted,
+                "rejected": self.rejected,
+                "shed": terminal[SHED],
+                "surrendered": terminal[SURRENDERED],
+                "capacity_units": self.capacity_units,
+                "distinct_workers": len(self.workers),
+                "drain_reason": self._drain_reason,
+            },
+        )

@@ -1,0 +1,127 @@
+"""Run one scheduler service end to end: master, fleet, churn, teardown.
+
+:func:`run_service` is the service-mode sibling of
+:func:`~repro.cluster.launcher.launch_cluster`.  The differences are
+exactly the ones a long-lived service needs:
+
+* the master is a :class:`~repro.service.master.ServiceMaster` (admission,
+  streaming clients, drain-on-stop) instead of a batch master;
+* the fleet is *elastic*: :class:`~repro.service.config.JoinPlan` entries
+  schedule extra workers to join mid-run (new capacity or restarts), and
+  the embedded :class:`~repro.cluster.failure.FailurePlan` still scripts
+  fail-stops — every spawned process, early or late, is reaped in the
+  same ``finally``;
+* ``SIGTERM``/``SIGINT`` can be wired to a graceful drain instead of
+  killing the process mid-guarantee;
+* an optional ``drive_load`` callable runs in a background thread against
+  the bound port, which is how the in-process backend and the smoke tests
+  close the loop without a second process.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Callable, List, Optional, Sequence
+
+from ..cluster.launcher import reap_workers, spawn_worker
+from ..observability import Instrumentation, get_instrumentation
+from ..runtime.report import RunReport
+from .config import JoinPlan, ServiceConfig
+from .master import ServiceMaster
+
+
+def run_service(
+    service: ServiceConfig,
+    instrumentation: Optional[Instrumentation] = None,
+    joins: Sequence[JoinPlan] = (),
+    install_signal_handlers: bool = False,
+    drive_load: Optional[Callable[[str, int], None]] = None,
+) -> RunReport:
+    """Serve until stop/duration/idle; always reaps every worker.
+
+    ``joins`` schedules elastic mid-run worker joins (seconds measured
+    from service start).  ``drive_load`` — if given — is called as
+    ``drive_load(host, port)`` in a daemon thread once the master is
+    bound; it is how harness runs co-locate the load generator.  With
+    ``install_signal_handlers`` (main thread only), SIGTERM and SIGINT
+    request a graceful drain instead of terminating the process.
+    """
+    obs = instrumentation or get_instrumentation()
+    master = ServiceMaster(service, instrumentation=obs)
+    cluster = service.cluster
+    worker_config = cluster.with_port(master.port)
+    if obs.enabled and not worker_config.telemetry:
+        # Same reasoning as launch_cluster: spawned workers cannot inherit
+        # the sink, so the config flag makes them ship events on the wire.
+        worker_config = worker_config.with_telemetry(True)
+    workers: List = []
+    workers_lock = threading.Lock()
+    stopping = threading.Event()
+
+    def _join_fleet(plan: JoinPlan) -> None:
+        if stopping.is_set():
+            return
+        with workers_lock:
+            workers.append(spawn_worker(worker_config, plan.worker_index))
+        obs.logger.info(
+            "elastic worker spawned",
+            worker=plan.worker_index,
+            after=plan.after_seconds,
+        )
+
+    timers = [
+        threading.Timer(plan.after_seconds, _join_fleet, args=(plan,))
+        for plan in joins
+    ]
+    restored = _install_handlers(master, obs) if install_signal_handlers else []
+    load_thread: Optional[threading.Thread] = None
+    try:
+        with workers_lock:
+            for index in range(cluster.num_workers):
+                workers.append(spawn_worker(worker_config, index))
+        for timer in timers:
+            timer.daemon = True
+            timer.start()
+        if drive_load is not None:
+            load_thread = threading.Thread(
+                target=drive_load,
+                args=("127.0.0.1", master.port),
+                name="repro-service-load",
+                daemon=True,
+            )
+            load_thread.start()
+        report = master.run()
+    finally:
+        stopping.set()
+        for timer in timers:
+            timer.cancel()
+        master.close()
+        if load_thread is not None:
+            # The master is gone, so the client sees ConnectionLost and
+            # returns; the join is just letting it notice.
+            load_thread.join(timeout=5.0)
+        for handler_signal, previous in restored:
+            signal.signal(handler_signal, previous)
+        with workers_lock:
+            reap_workers(workers, obs)
+    return report
+
+
+def _install_handlers(master: ServiceMaster, obs: Instrumentation):
+    """Route SIGTERM/SIGINT into a graceful drain; returns the old handlers."""
+    if threading.current_thread() is not threading.main_thread():
+        obs.logger.warning(
+            "signal handlers requested off the main thread; skipping"
+        )
+        return []
+
+    def _request_drain(signum, _frame) -> None:
+        master.request_stop(reason=signal.Signals(signum).name.lower())
+
+    restored = []
+    for handler_signal in (signal.SIGTERM, signal.SIGINT):
+        restored.append(
+            (handler_signal, signal.signal(handler_signal, _request_drain))
+        )
+    return restored

@@ -1,11 +1,16 @@
 """Workload generation: arrivals, deadlines, transactions, synthetic tasks."""
 
 from .arrivals import (
+    ARRIVAL_NAMES,
     ArrivalProcess,
     BatchedArrival,
     BurstyArrival,
+    DiurnalArrival,
+    LogNormalArrival,
+    ParetoArrival,
     PoissonArrival,
     UniformArrival,
+    make_arrival,
 )
 from .deadlines import (
     PAPER_DEADLINE_MULTIPLIER,
@@ -20,10 +25,15 @@ from .transactions import (
 )
 
 __all__ = [
+    "ARRIVAL_NAMES",
     "ArrivalProcess",
     "BatchedArrival",
     "BurstyArrival",
     "DeadlinePolicy",
+    "DiurnalArrival",
+    "LogNormalArrival",
+    "ParetoArrival",
+    "make_arrival",
     "FixedLaxityDeadline",
     "PAPER_DEADLINE_MULTIPLIER",
     "PoissonArrival",

@@ -4,10 +4,22 @@ The paper's experiments use a bursty arrival: all 1000 transactions reach
 the host simultaneously at ``t = 0``.  Poisson and uniform processes are
 provided for the open-system extensions and the quantum ablation (arrival
 rate is one of the signals the self-adjusting criterion reacts to).
+
+The heavy-tailed (:class:`ParetoArrival`, :class:`LogNormalArrival`) and
+:class:`DiurnalArrival` processes drive the streaming service mode's
+open-loop load generator.  All rate-parameterized processes share the same
+convention: ``rate`` is the *mean* number of arrivals per virtual time
+unit, so swapping the process changes burstiness while holding offered
+load constant.
+
+:func:`make_arrival` builds a process from a short name (``"burst"``,
+``"poisson"``, ...) so arrival shape can live in an
+:class:`~repro.experiments.config.ExperimentConfig` field.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from abc import ABC, abstractmethod
 from typing import List
@@ -103,3 +115,157 @@ class BatchedArrival(ArrivalProcess):
             count = base + (1 if batch < extra else 0)
             times.extend([self.start + batch * self.interval] * count)
         return times
+
+
+class ParetoArrival(ArrivalProcess):
+    """Heavy-tailed gaps: Lomax (shifted Pareto) inter-arrival times.
+
+    Gaps are drawn as ``scale * (U**(-1/shape) - 1)`` — a Pareto-II
+    distribution with mean ``scale / (shape - 1)`` for ``shape > 1``.  The
+    scale is derived from ``rate`` so the *mean* arrival rate matches a
+    Poisson process of the same rate, but occasional very long gaps are
+    followed by tight clumps: the classic self-similar traffic shape that
+    stresses admission control far harder than exponential gaps.
+    """
+
+    def __init__(self, rate: float, shape: float = 2.5, start: float = 0.0) -> None:
+        if rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if shape <= 1:
+            raise ValueError("shape must exceed 1 so the mean gap is finite")
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        self.rate = rate
+        self.shape = shape
+        self.start = start
+        #: Lomax scale giving mean gap 1/rate: scale = (shape - 1) / rate.
+        self.scale = (shape - 1.0) / rate
+
+    def arrival_times(self, n: int, rng: random.Random) -> List[float]:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        times: List[float] = []
+        now = self.start
+        for _ in range(n):
+            # Inverse-CDF sample of Lomax(shape, scale); 1 - U avoids u == 0.
+            u = 1.0 - rng.random()
+            now += self.scale * (u ** (-1.0 / self.shape) - 1.0)
+            times.append(now)
+        return times
+
+
+class LogNormalArrival(ArrivalProcess):
+    """Heavy-tailed gaps: log-normal inter-arrival times.
+
+    ``sigma`` controls burstiness (sigma -> 0 degenerates to a uniform
+    cadence); ``mu`` is derived from ``rate`` so the mean gap is exactly
+    ``1/rate`` (``mu = ln(1/rate) - sigma**2 / 2``).
+    """
+
+    def __init__(self, rate: float, sigma: float = 1.0, start: float = 0.0) -> None:
+        if rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        self.rate = rate
+        self.sigma = sigma
+        self.start = start
+        self.mu = math.log(1.0 / rate) - (sigma * sigma) / 2.0
+
+    def arrival_times(self, n: int, rng: random.Random) -> List[float]:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        times: List[float] = []
+        now = self.start
+        for _ in range(n):
+            now += rng.lognormvariate(self.mu, self.sigma)
+            times.append(now)
+        return times
+
+
+class DiurnalArrival(ArrivalProcess):
+    """Non-homogeneous Poisson process with a sinusoidal rate curve.
+
+    The instantaneous rate is ``rate * (1 + amplitude * sin(2*pi*t /
+    period))`` — a day/night cycle compressed to ``period`` virtual units.
+    Sampling uses Lewis & Shedler thinning: candidate gaps are drawn at the
+    peak rate ``rate * (1 + amplitude)`` and accepted with probability
+    ``rate(t) / peak``, which is exact for any bounded rate curve.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        period: float,
+        amplitude: float = 0.8,
+        start: float = 0.0,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 <= amplitude < 1:
+            raise ValueError("amplitude must be in [0, 1) so the rate stays positive")
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        self.rate = rate
+        self.period = period
+        self.amplitude = amplitude
+        self.start = start
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at virtual time ``t``."""
+        return self.rate * (
+            1.0 + self.amplitude * math.sin(2.0 * math.pi * t / self.period)
+        )
+
+    def arrival_times(self, n: int, rng: random.Random) -> List[float]:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        peak = self.rate * (1.0 + self.amplitude)
+        times: List[float] = []
+        now = self.start
+        while len(times) < n:
+            now += rng.expovariate(peak)
+            if rng.random() * peak <= self.rate_at(now):
+                times.append(now)
+        return times
+
+
+#: Names accepted by :func:`make_arrival`; referenced by
+#: ``ExperimentConfig.arrival`` validation and the ``repro load`` CLI.
+ARRIVAL_NAMES = ("burst", "poisson", "uniform", "batched", "pareto", "lognormal", "diurnal")
+
+
+def make_arrival(name: str, rate: float, horizon: float = 0.0) -> ArrivalProcess:
+    """Build an arrival process from a short name at a mean ``rate``.
+
+    ``rate`` is mean arrivals per virtual unit for every process (so the
+    offered load is comparable across shapes).  ``horizon`` only matters
+    for the shapes that need a window: ``uniform`` spreads arrivals over
+    ``[0, horizon]``, ``batched`` spaces 8 bursts across it, and
+    ``diurnal`` fits one full day/night cycle into it; when ``horizon`` is
+    0 it defaults to the time a rate-``rate`` process needs for ~100
+    arrivals.
+    """
+    if name not in ARRIVAL_NAMES:
+        raise ValueError(f"unknown arrival process {name!r}; expected one of {ARRIVAL_NAMES}")
+    if rate <= 0:
+        raise ValueError("arrival rate must be positive")
+    if horizon <= 0:
+        horizon = 100.0 / rate
+    if name == "burst":
+        return BurstyArrival()
+    if name == "poisson":
+        return PoissonArrival(rate)
+    if name == "uniform":
+        return UniformArrival(0.0, horizon)
+    if name == "batched":
+        return BatchedArrival(num_batches=8, interval=horizon / 8.0)
+    if name == "pareto":
+        return ParetoArrival(rate)
+    if name == "lognormal":
+        return LogNormalArrival(rate)
+    return DiurnalArrival(rate, period=horizon)

@@ -44,6 +44,18 @@ ALL_MESSAGES = [
         mono=12.5,
     ),
     protocol.shutdown(reason="complete"),
+    protocol.submit(
+        request_id=5, template_id=12, relative_deadline=250.0, mono=1.5
+    ),
+    protocol.accept(request_id=5, task_id=1012, deadline=980.0),
+    protocol.reject(request_id=6, reason="backlog-full", policy="reject-newest"),
+    protocol.result(
+        request_id=5,
+        task_id=1012,
+        status="completed",
+        met_deadline=True,
+        finished_at=970.5,
+    ),
 ]
 
 
@@ -135,3 +147,36 @@ class TestFrameDecoder:
         huge = protocol.hello(0, 0, "x" * (MAX_FRAME_BYTES + 1))
         with pytest.raises(ProtocolError, match="exceeds"):
             pack(huge)
+
+
+class TestServiceFrames:
+    def test_result_rejects_unknown_status(self):
+        with pytest.raises(ValueError):
+            protocol.result(
+                request_id=1,
+                task_id=2,
+                status="vanished",
+                met_deadline=False,
+                finished_at=0.0,
+            )
+
+    def test_assign_defaults_to_batch_mode_template(self):
+        message = protocol.assign(
+            task_id=17,
+            worker_id=3,
+            total_cost=1.0,
+            communication_cost=0.0,
+            deadline=10.0,
+        )
+        assert message["template_id"] == -1
+
+    def test_assign_carries_template_id(self):
+        message = protocol.assign(
+            task_id=1017,
+            worker_id=3,
+            total_cost=1.0,
+            communication_cost=0.0,
+            deadline=10.0,
+            template_id=17,
+        )
+        assert message["template_id"] == 17

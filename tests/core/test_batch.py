@@ -80,3 +80,27 @@ class TestBatchLifecycle:
             batch.total_admitted
             == batch.total_scheduled + batch.total_expired + len(batch)
         )
+
+
+class TestBatchWithdraw:
+    def test_withdraw_removes_without_counting_scheduled(self):
+        batch = Batch([_task(0), _task(1), _task(2)])
+        withdrawn = batch.withdraw([1])
+        assert [t.task_id for t in withdrawn] == [1]
+        assert len(batch) == 2
+        assert batch.total_withdrawn == 1
+        assert batch.total_scheduled == 0
+
+    def test_withdraw_tolerates_missing_ids(self):
+        batch = Batch([_task(0)])
+        withdrawn = batch.withdraw([0, 99])
+        assert [t.task_id for t in withdrawn] == [0]
+        assert batch.total_withdrawn == 1
+
+    def test_withdrawn_task_can_rearrive(self):
+        """A shed submission's id leaves the batch entirely."""
+        batch = Batch([_task(0)])
+        batch.withdraw([0])
+        assert 0 not in batch
+        batch.add_arrivals([_task(0)])
+        assert 0 in batch

@@ -88,3 +88,52 @@ class TestValidation:
             ExperimentConfig(per_vertex_cost=0.0)
         with pytest.raises(ValueError):
             ExperimentConfig(runs=0)
+
+
+class TestServiceFields:
+    def test_defaults(self):
+        config = ExperimentConfig()
+        assert config.arrival == "burst"
+        assert config.offered_load == 1.0
+        assert config.admission_policy == "reject-newest"
+
+    def test_with_helpers(self):
+        config = ExperimentConfig()
+        assert config.with_arrival("pareto").arrival == "pareto"
+        assert config.with_offered_load(1.6).offered_load == 1.6
+        assert (
+            config.with_admission_policy("least-slack").admission_policy
+            == "least-slack"
+        )
+        # Frozen: the originals are untouched.
+        assert config.arrival == "burst"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(arrival="fractal")
+        with pytest.raises(ValueError):
+            ExperimentConfig(offered_load=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(admission_policy="lifo")
+
+    def test_offered_load_sweep_has_points_astride_capacity(self):
+        from repro.experiments.config import OFFERED_LOAD_SWEEP
+
+        assert len(OFFERED_LOAD_SWEEP) >= 4
+        assert min(OFFERED_LOAD_SWEEP) < 1.0 < max(OFFERED_LOAD_SWEEP)
+
+    def test_service_fields_are_cache_relevant(self):
+        """Two cells differing only in a service field must not share a
+        cache entry, or load-curve grids would collapse to one point."""
+        from repro.experiments.sweep import config_digest
+
+        base = ExperimentConfig()
+        assert config_digest(base) != config_digest(
+            base.with_offered_load(1.6)
+        )
+        assert config_digest(base) != config_digest(
+            base.with_admission_policy("least-slack")
+        )
+        assert config_digest(base) != config_digest(
+            base.with_arrival("diurnal")
+        )

@@ -85,6 +85,9 @@ class TestConfigDigest:
             "confidence": 0.95,
             "significance_level": 0.05,
             "backend": "cluster",
+            "arrival": "poisson",
+            "offered_load": 1.4,
+            "admission_policy": "least-slack",
         }
         cache_fields = set(base.cache_fields())
         assert cache_fields == set(bumped), (

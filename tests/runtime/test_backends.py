@@ -16,7 +16,7 @@ from repro.runtime import (
 
 class TestRegistry:
     def test_builtins_resolve_lazily_by_name(self):
-        assert set(BACKEND_NAMES) == {"sim", "cluster"}
+        assert set(BACKEND_NAMES) == {"sim", "cluster", "service"}
         backend = get_backend("sim")
         assert isinstance(backend, ExecutionBackend)
         assert backend.name == "sim"
@@ -125,3 +125,41 @@ class TestClusterBackendContract:
                 1,
                 evaluator=object(),
             )
+
+
+class TestServiceBackendContract:
+    def test_resolves_by_name(self):
+        backend = get_backend("service")
+        assert isinstance(backend, ExecutionBackend)
+        assert backend.name == "service"
+
+    def test_scheduler_overrides_are_refused_not_ignored(self):
+        from repro.runtime.service import ServiceBackend
+
+        with pytest.raises(NotImplementedError, match="simulator-only"):
+            ServiceBackend().run_once(
+                ExperimentConfig.quick(runs=1),
+                "rtsads",
+                1,
+                quantum_policy=object(),
+            )
+
+    def test_with_port_clones_with_every_override_intact(self):
+        from repro.runtime.service import ServiceBackend
+
+        backend = ServiceBackend(
+            drain_grace_seconds=2.0, submissions=8, seconds_per_unit=0.01
+        )
+        pinned = backend.with_port(4242)
+        assert pinned is not backend
+        assert pinned._cluster_overrides["port"] == 4242
+        assert pinned._cluster_overrides["seconds_per_unit"] == 0.01
+        assert pinned._service_overrides["drain_grace_seconds"] == 2.0
+        assert pinned._load_overrides["submissions"] == 8
+        assert "port" not in backend._cluster_overrides
+
+    def test_unknown_override_rejected(self):
+        from repro.runtime.service import ServiceBackend
+
+        with pytest.raises(TypeError):
+            ServiceBackend(bogus_knob=1)

@@ -179,3 +179,43 @@ class TestTrace:
         assert second.index == first.index + 1
         assert first.batch_size == 2
         assert first.end == pytest.approx(first.start + first.time_used)
+
+
+class TestWithdraw:
+    def test_withdraw_pending_before_any_phase(self):
+        driver, hooks = make_driver()
+        driver.admit(easy_tasks(3))
+        withdrawn = driver.withdraw([1])
+        assert [t.task_id for t in withdrawn] == [1]
+        trace = driver.run_phase(now=0.0)
+        assert trace is not None
+        assert 1 not in hooks.delivered
+        assert sorted(hooks.delivered) == [0, 2]
+
+    def test_withdraw_from_batch_backlog(self):
+        driver, hooks = make_driver()
+        hooks.capacity = False  # no loads -> tasks stay in the batch
+        driver.admit(easy_tasks(2))
+        driver.run_phase(now=0.0)
+        withdrawn = driver.withdraw([0, 1])
+        assert {t.task_id for t in withdrawn} == {0, 1}
+        assert not driver.has_backlog()
+
+    def test_withdraw_unknown_id_is_empty(self):
+        driver, _ = make_driver()
+        driver.admit(easy_tasks(1))
+        assert driver.withdraw([42]) == []
+
+    def test_withdrawn_never_counts_as_scheduled(self):
+        driver, hooks = make_driver()
+        # Fold the tasks into the batch first (no capacity -> no schedule),
+        # so the withdrawal hits the batch accounting, not the pending set.
+        hooks.capacity = False
+        driver.admit(easy_tasks(2))
+        driver.run_phase(now=0.0)
+        hooks.capacity = True
+        driver.withdraw([0])
+        driver.run_phase(now=0.0)
+        assert driver.batch.total_withdrawn == 1
+        assert driver.batch.total_scheduled == 1
+        assert hooks.delivered == [1]

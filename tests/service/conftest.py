@@ -1,0 +1,47 @@
+"""Fixtures for the service-mode suite: hard timeouts, leak detection.
+
+Service tests run real processes and sockets (like the live-cluster
+suite), so every test here runs under a SIGALRM hard timeout and the
+integration tests assert zero leaked children afterwards.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+
+import pytest
+
+#: Generous per-test ceiling; the in-test budgets are far tighter.
+HARD_TIMEOUT_SECONDS = 120
+
+
+@pytest.fixture(autouse=True)
+def hard_timeout():
+    """Abort any test in this package that wedges, with a clear message."""
+
+    def _alarm(signum, frame):  # pragma: no cover - only fires on a hang
+        raise TimeoutError(
+            f"service test exceeded the {HARD_TIMEOUT_SECONDS}s hard timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.alarm(HARD_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture
+def assert_no_leaked_children():
+    """Fails the test if it leaves live child processes behind."""
+    yield
+    leaked = [
+        p for p in multiprocessing.active_children() if p.is_alive()
+    ]
+    for process in leaked:  # clean up before failing, keep the suite sane
+        process.terminate()
+        process.join(timeout=2.0)
+    assert not leaked, f"leaked worker processes: {leaked}"

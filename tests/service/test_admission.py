@@ -1,0 +1,226 @@
+"""Unit tests of the admission policies (pure logic, no sockets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_task
+from repro.service import (
+    ADMISSION_POLICY_NAMES,
+    AdmissionState,
+    QueuedTask,
+    build_policy,
+)
+
+
+def queued(task_id, cost=10.0, deadline=100.0):
+    return QueuedTask(task_id=task_id, cost=cost, deadline=deadline)
+
+
+def newcomer(cost=10.0, deadline=100.0):
+    return make_task(999, processing_time=cost, deadline=deadline)
+
+
+def state(pending=(), outstanding=(), now=0.0, workers=2, capacity=40.0):
+    return AdmissionState(
+        now=now,
+        workers=workers,
+        capacity_units=capacity,
+        pending=tuple(pending),
+        outstanding=tuple(outstanding),
+    )
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ADMISSION_POLICY_NAMES)
+    def test_every_name_builds_with_matching_name(self, name):
+        assert build_policy(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            build_policy("lifo")
+
+
+class TestRejectNewest:
+    def test_admits_under_capacity(self):
+        policy = build_policy("reject-newest")
+        decision = policy.decide(newcomer(), 10.0, state(capacity=40.0))
+        assert decision.accept
+        assert decision.shed == ()
+
+    def test_rejects_on_overflow(self):
+        policy = build_policy("reject-newest")
+        decision = policy.decide(
+            newcomer(),
+            10.0,
+            state(pending=[queued(0, cost=35.0)], capacity=40.0),
+        )
+        assert not decision.accept
+        assert decision.reason == "backlog-full"
+
+    def test_exact_fit_admits(self):
+        policy = build_policy("reject-newest")
+        decision = policy.decide(
+            newcomer(),
+            10.0,
+            state(pending=[queued(0, cost=30.0)], capacity=40.0),
+        )
+        assert decision.accept
+
+    def test_outstanding_work_does_not_count_against_backlog(self):
+        """Dispatched work left the queue; only pending fills the bound."""
+        policy = build_policy("reject-newest")
+        decision = policy.decide(
+            newcomer(),
+            10.0,
+            state(outstanding=[queued(0, cost=500.0)], capacity=40.0),
+        )
+        assert decision.accept
+
+
+class TestLeastSlack:
+    def test_sheds_tighter_pending_to_fit_newcomer(self):
+        policy = build_policy("least-slack")
+        tight = queued(0, cost=35.0, deadline=40.0)  # slack 5
+        decision = policy.decide(
+            newcomer(cost=10.0, deadline=200.0),  # slack 190
+            10.0,
+            state(pending=[tight], capacity=40.0),
+        )
+        assert decision.accept
+        assert decision.shed == (0,)
+
+    def test_rejects_newcomer_with_least_slack(self):
+        policy = build_policy("least-slack")
+        loose = queued(0, cost=35.0, deadline=1000.0)
+        decision = policy.decide(
+            newcomer(cost=10.0, deadline=25.0),  # slack 15, the tightest
+            10.0,
+            state(pending=[loose], capacity=40.0),
+        )
+        assert not decision.accept
+        assert decision.reason == "least-slack"
+        assert decision.shed == ()
+
+    def test_sheds_in_least_slack_order_until_fit(self):
+        policy = build_policy("least-slack")
+        pending = [
+            queued(0, cost=15.0, deadline=30.0),  # slack 15 (tightest)
+            queued(1, cost=15.0, deadline=60.0),  # slack 45
+            queued(2, cost=15.0, deadline=90.0),  # slack 75
+        ]
+        decision = policy.decide(
+            newcomer(cost=10.0, deadline=500.0),
+            10.0,
+            state(pending=pending, capacity=40.0),
+        )
+        assert decision.accept
+        assert decision.shed == (0,)  # one eviction already fits
+
+    def test_no_shedding_when_it_fits(self):
+        policy = build_policy("least-slack")
+        decision = policy.decide(
+            newcomer(), 10.0, state(pending=[queued(0)], capacity=40.0)
+        )
+        assert decision.accept
+        assert decision.shed == ()
+
+    def test_deterministic_tie_break_on_task_id(self):
+        policy = build_policy("least-slack")
+        twins = [
+            queued(7, cost=20.0, deadline=50.0),
+            queued(3, cost=20.0, deadline=50.0),
+        ]
+        decision = policy.decide(
+            newcomer(cost=10.0, deadline=500.0),
+            10.0,
+            state(pending=twins, capacity=40.0),
+        )
+        assert decision.accept
+        assert decision.shed == (3,)  # equal slack -> lowest id first
+
+
+class TestSchedulability:
+    def test_admits_when_demand_fits(self):
+        policy = build_policy("schedulability")
+        decision = policy.decide(
+            newcomer(cost=10.0, deadline=100.0),
+            10.0,
+            state(workers=2),
+        )
+        assert decision.accept
+
+    def test_rejects_when_demand_exceeds_capacity(self):
+        policy = build_policy("schedulability")
+        # Demand by t=20: 3 * 15 units; supply: 2 workers * 20 = 40.
+        pending = [
+            queued(0, cost=15.0, deadline=20.0),
+            queued(1, cost=15.0, deadline=20.0),
+        ]
+        decision = policy.decide(
+            newcomer(cost=15.0, deadline=20.0),
+            15.0,
+            state(pending=pending, workers=2),
+        )
+        assert not decision.accept
+        assert decision.reason == "demand-exceeds-capacity"
+
+    def test_counts_outstanding_work_in_demand(self):
+        policy = build_policy("schedulability")
+        outstanding = [
+            queued(0, cost=15.0, deadline=20.0),
+            queued(1, cost=15.0, deadline=20.0),
+        ]
+        decision = policy.decide(
+            newcomer(cost=15.0, deadline=20.0),
+            15.0,
+            state(outstanding=outstanding, workers=2),
+        )
+        assert not decision.accept
+
+    def test_earlier_deadlines_do_not_block_admission(self):
+        """Work due before the newcomer's deadline still adds to demand at
+        the newcomer's checkpoint, but no checkpoint earlier than the
+        newcomer's own deadline is inspected."""
+        policy = build_policy("schedulability")
+        # Hopeless early deadline, but the newcomer's own checkpoint at
+        # t=1000 has plenty of supply.
+        pending = [queued(0, cost=50.0, deadline=1.0)]
+        decision = policy.decide(
+            newcomer(cost=10.0, deadline=1000.0),
+            10.0,
+            state(pending=pending, workers=2),
+        )
+        assert decision.accept
+
+    def test_no_workers_rejects(self):
+        policy = build_policy("schedulability")
+        decision = policy.decide(
+            newcomer(), 10.0, state(workers=0)
+        )
+        assert not decision.accept
+        assert decision.reason == "no-capacity"
+
+    def test_more_workers_admit_more(self):
+        policy = build_policy("schedulability")
+        crowded = [queued(i, cost=20.0, deadline=25.0) for i in range(2)]
+        tight = state(pending=crowded, workers=2)
+        roomy = state(pending=crowded, workers=4)
+        task = newcomer(cost=20.0, deadline=25.0)
+        assert not policy.decide(task, 20.0, tight).accept
+        assert policy.decide(task, 20.0, roomy).accept
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ADMISSION_POLICY_NAMES)
+    def test_same_state_same_decision(self, name):
+        policy = build_policy(name)
+        snapshot = state(
+            pending=[queued(0, cost=30.0, deadline=35.0)],
+            outstanding=[queued(1, cost=10.0, deadline=50.0)],
+            capacity=35.0,
+        )
+        task = newcomer(cost=10.0, deadline=80.0)
+        first = policy.decide(task, 10.0, snapshot)
+        second = policy.decide(task, 10.0, snapshot)
+        assert first == second

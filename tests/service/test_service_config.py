@@ -1,0 +1,52 @@
+"""ServiceConfig / JoinPlan validation and parsing (no sockets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import JoinPlan, ServiceConfig
+
+
+class TestJoinPlan:
+    def test_parse(self):
+        plan = JoinPlan.parse("3@2.5")
+        assert plan.worker_index == 3
+        assert plan.after_seconds == 2.5
+
+    @pytest.mark.parametrize("spec", ["3", "@2", "a@1", "1@b", ""])
+    def test_parse_rejects_malformed(self, spec):
+        with pytest.raises(ValueError):
+            JoinPlan.parse(spec)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JoinPlan(worker_index=-1, after_seconds=0.0)
+        with pytest.raises(ValueError):
+            JoinPlan(worker_index=0, after_seconds=-1.0)
+
+
+class TestServiceConfig:
+    def test_defaults(self):
+        config = ServiceConfig()
+        assert config.admission_policy == "reject-newest"
+        assert config.max_backlog_units == 0.0
+        assert config.stop_when_idle is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(admission_policy="lifo")
+        with pytest.raises(ValueError):
+            ServiceConfig(max_backlog_units=-1.0)
+        with pytest.raises(ValueError):
+            ServiceConfig(drain_grace_seconds=0.0)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_service_seconds=-1.0)
+
+    def test_with_helpers(self):
+        config = ServiceConfig()
+        assert config.with_policy("least-slack").admission_policy == (
+            "least-slack"
+        )
+        replaced = config.with_cluster(config.cluster.with_port(4242))
+        assert replaced.cluster.port == 4242
+        assert config.cluster.port != 4242  # frozen original untouched

@@ -1,0 +1,235 @@
+"""Live service-mode behavior: admission, results, drain, elastic joins.
+
+Same determinism discipline as the live-cluster suite: fixed seeds,
+generous deadlines, small workloads, the package SIGALRM hard timeout,
+and explicit no-leaked-children assertions.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import socket
+import threading
+import time
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+from repro.cluster import ClusterConfig, reap_workers, spawn_worker
+from repro.observability import get_instrumentation
+from repro.service import ServiceClient, ServiceConfig, ServiceMaster
+
+
+def smoke_service(workers=2, tasks=16, seed=7, **overrides) -> ServiceConfig:
+    cluster = ClusterConfig.smoke(workers=workers, tasks=tasks, seed=seed)
+    return ServiceConfig(cluster=cluster, **overrides)
+
+
+def assert_port_released(port: int) -> None:
+    probe = socket.socket()
+    probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        probe.bind(("127.0.0.1", port))
+    finally:
+        probe.close()
+
+
+@contextlib.contextmanager
+def live_service(service: ServiceConfig):
+    """Master in a thread, real worker fleet; always reaps and joins."""
+    master = ServiceMaster(service)
+    worker_config = service.cluster.with_port(master.port)
+    workers = [
+        spawn_worker(worker_config, index)
+        for index in range(service.cluster.num_workers)
+    ]
+    box: dict = {}
+
+    def _run() -> None:
+        try:
+            box["report"] = master.run()
+        except BaseException as exc:  # surfaced after teardown
+            box["error"] = exc
+
+    thread = threading.Thread(target=_run, daemon=True)
+    thread.start()
+    try:
+        yield master, workers, box
+    finally:
+        master.request_stop("test-teardown")
+        thread.join(timeout=60)
+        master.close()
+        reap_workers(workers, get_instrumentation())
+    if "error" in box:
+        raise box["error"]
+    assert thread.is_alive() is False, "service loop failed to stop"
+
+
+def await_ready(master: ServiceMaster, timeout: float = 30.0) -> None:
+    """Block until the master started its virtual clock."""
+    deadline = time.monotonic() + timeout
+    while master._t0 is None:
+        assert time.monotonic() < deadline, "service never became ready"
+        time.sleep(0.02)
+
+
+class TestResultDiscipline:
+    def test_every_accept_gets_exactly_one_result(
+        self, assert_no_leaked_children
+    ):
+        service = smoke_service(stop_when_idle=False)
+        with live_service(service) as (master, _workers, box):
+            client = ServiceClient.connect("127.0.0.1", master.port)
+            try:
+                for template_id in sorted(
+                    t.task_id for t in master.templates.values()
+                )[:12]:
+                    client.submit(template_id)
+                assert client.drain(timeout=60.0)
+                outcomes = list(client.outcomes.values())
+                assert len(outcomes) == 12
+                assert all(o.accepted for o in outcomes)
+                assert all(
+                    o.status in ("completed", "expired") for o in outcomes
+                )
+                # Fresh task ids, all distinct, none a template id.
+                minted = {o.task_id for o in outcomes}
+                assert len(minted) == 12
+                assert minted.isdisjoint(master.templates)
+            finally:
+                client.close()
+        report = box["report"]
+        assert report.total_tasks == 12
+        assert report.extras["accepted"] == 12
+        assert report.extras["rejected"] == 0
+        assert report.guaranteed_violations == 0
+        assert_port_released(report.extras["port"])
+
+    def test_unknown_template_is_rejected_not_fatal(
+        self, assert_no_leaked_children
+    ):
+        with live_service(smoke_service(stop_when_idle=False)) as (
+            master, _workers, _box,
+        ):
+            client = ServiceClient.connect("127.0.0.1", master.port)
+            try:
+                outcome = client.submit(999999)
+                assert client.drain(timeout=30.0)
+                assert outcome.accepted is False
+                assert outcome.reject_reason == "unknown-template"
+                # The service keeps serving after a bad submission.
+                good = client.submit(min(master.templates))
+                assert client.drain(timeout=60.0)
+                assert good.accepted is True
+            finally:
+                client.close()
+
+
+class TestGracefulDrain:
+    def test_drain_settles_every_accepted_submission(
+        self, assert_no_leaked_children
+    ):
+        """SIGTERM-style stop: whatever cannot finish inside the grace is
+        surrendered, and no ACCEPT is ever left without a RESULT."""
+        # Slow the clock so the backlog is genuinely in flight at stop.
+        service = smoke_service(
+            tasks=24,
+            stop_when_idle=False,
+            drain_grace_seconds=0.5,
+        )
+        service = service.with_cluster(
+            dataclasses.replace(service.cluster, seconds_per_unit=0.01)
+        )
+        with live_service(service) as (master, _workers, box):
+            await_ready(master)
+            client = ServiceClient.connect("127.0.0.1", master.port)
+            try:
+                for template_id in sorted(master.templates):
+                    client.submit(template_id)
+                client.poll(0.2)  # let a few ACCEPTs land
+                master.request_stop("test-stop")
+                assert client.drain(timeout=60.0), (
+                    "unsettled submissions after drain: "
+                    f"{[o.request_id for o in client.unsettled()]}"
+                )
+                outcomes = list(client.outcomes.values())
+                accepted = [o for o in outcomes if o.accepted]
+                assert accepted, "drain test needs accepted work in flight"
+                for outcome in accepted:
+                    assert outcome.status in (
+                        "completed", "expired", "surrendered"
+                    )
+                surrendered = [
+                    o for o in accepted if o.status == "surrendered"
+                ]
+                assert surrendered, (
+                    "0.5s grace on a slowed clock must strand some work"
+                )
+            finally:
+                client.close()
+        report = box["report"]
+        # Surrendered guarantees are revoked, never violated.
+        assert report.guaranteed_violations == 0
+        assert report.extras["drain_reason"] == "test-stop"
+        assert report.extras["surrendered"] == len(surrendered)
+        # The master's ledger is empty: nothing orphaned inside either.
+        assert master.records == {}
+
+    def test_submissions_during_drain_are_rejected(
+        self, assert_no_leaked_children
+    ):
+        # In-flight work on a slowed clock keeps the drain window open
+        # long enough to probe it; an idle drain finishes instantly.
+        service = smoke_service(
+            stop_when_idle=False, drain_grace_seconds=8.0
+        )
+        service = service.with_cluster(
+            dataclasses.replace(service.cluster, seconds_per_unit=0.05)
+        )
+        with live_service(service) as (master, _workers, _box):
+            await_ready(master)
+            client = ServiceClient.connect("127.0.0.1", master.port)
+            try:
+                inflight = client.submit(min(master.templates))
+                client.poll(0.2)
+                assert inflight.accepted is True
+                master.request_stop("early-stop")
+                deadline = time.monotonic() + 10.0
+                while not master.draining and time.monotonic() < deadline:
+                    time.sleep(0.02)
+                assert master.draining
+                late = client.submit(min(master.templates))
+                assert client.drain(timeout=60.0)
+                assert late.accepted is False
+                assert late.reject_reason == "draining"
+            finally:
+                client.close()
+
+
+class TestElasticMembership:
+    def test_late_join_expands_the_live_pool(
+        self, assert_no_leaked_children
+    ):
+        service = smoke_service(workers=2, stop_when_idle=False)
+        with live_service(service) as (master, workers, box):
+            await_ready(master)
+            # An index beyond the data placement: pure elastic capacity.
+            workers.append(
+                spawn_worker(service.cluster.with_port(master.port), 5)
+            )
+            deadline = time.monotonic() + 30.0
+            while 5 not in master.workers and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert 5 in master.workers, "late HELLO was not registered"
+            client = ServiceClient.connect("127.0.0.1", master.port)
+            try:
+                for template_id in sorted(master.templates)[:8]:
+                    client.submit(template_id)
+                assert client.drain(timeout=60.0)
+            finally:
+                client.close()
+        report = box["report"]
+        assert report.extras["distinct_workers"] == 3
+        assert report.guaranteed_violations == 0

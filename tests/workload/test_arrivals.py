@@ -5,10 +5,15 @@ import random
 import pytest
 
 from repro.workload import (
+    ARRIVAL_NAMES,
     BatchedArrival,
     BurstyArrival,
+    DiurnalArrival,
+    LogNormalArrival,
+    ParetoArrival,
     PoissonArrival,
     UniformArrival,
+    make_arrival,
 )
 
 
@@ -102,3 +107,135 @@ class TestDeterminism:
         a = PoissonArrival(1.0).arrival_times(20, random.Random(7))
         b = PoissonArrival(1.0).arrival_times(20, random.Random(7))
         assert a == b
+
+
+class TestPareto:
+    def test_non_decreasing_and_non_negative(self, rng):
+        times = ParetoArrival(rate=1.0).arrival_times(500, rng)
+        assert times == sorted(times)
+        assert all(t >= 0 for t in times)
+
+    def test_mean_gap_calibrated_to_rate(self):
+        # Heavy tails need many samples; shape 2.5 keeps variance finite.
+        rate = 2.0
+        times = ParetoArrival(rate=rate).arrival_times(
+            20000, random.Random(3)
+        )
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(1.0 / rate, rel=0.15)
+
+    def test_heavier_tail_than_poisson(self):
+        """The defining property: rare gaps far beyond the exponential."""
+        r = random.Random(11)
+        pareto = ParetoArrival(rate=1.0, shape=1.5).arrival_times(5000, r)
+        gaps = [b - a for a, b in zip(pareto, pareto[1:])]
+        # An exponential with mean 1 exceeds 20 with p ~ 2e-9; the heavy
+        # tail makes such gaps routine in a few thousand draws.
+        assert max(gaps) > 20.0
+
+    def test_seeded_determinism(self):
+        a = ParetoArrival(rate=1.0).arrival_times(50, random.Random(7))
+        b = ParetoArrival(rate=1.0).arrival_times(50, random.Random(7))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParetoArrival(rate=0.0)
+        with pytest.raises(ValueError):
+            ParetoArrival(rate=1.0, shape=1.0)  # infinite mean gap
+        with pytest.raises(ValueError):
+            ParetoArrival(rate=1.0, start=-1.0)
+
+
+class TestLogNormal:
+    def test_non_decreasing_and_non_negative(self, rng):
+        times = LogNormalArrival(rate=1.0).arrival_times(500, rng)
+        assert times == sorted(times)
+        assert all(t >= 0 for t in times)
+
+    def test_mean_gap_calibrated_to_rate(self):
+        rate = 4.0
+        times = LogNormalArrival(rate=rate, sigma=1.0).arrival_times(
+            20000, random.Random(5)
+        )
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(1.0 / rate, rel=0.1)
+
+    def test_seeded_determinism(self):
+        a = LogNormalArrival(rate=2.0).arrival_times(50, random.Random(9))
+        b = LogNormalArrival(rate=2.0).arrival_times(50, random.Random(9))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogNormalArrival(rate=0.0)
+        with pytest.raises(ValueError):
+            LogNormalArrival(rate=1.0, sigma=0.0)
+        with pytest.raises(ValueError):
+            LogNormalArrival(rate=1.0, start=-1.0)
+
+
+class TestDiurnal:
+    def test_non_decreasing_and_non_negative(self, rng):
+        times = DiurnalArrival(rate=1.0, period=100.0).arrival_times(
+            500, rng
+        )
+        assert times == sorted(times)
+        assert all(t >= 0 for t in times)
+
+    def test_rate_oscillates_around_mean(self):
+        process = DiurnalArrival(rate=2.0, period=100.0, amplitude=0.5)
+        assert process.rate_at(25.0) == pytest.approx(3.0)  # peak
+        assert process.rate_at(75.0) == pytest.approx(1.0)  # trough
+        assert process.rate_at(0.0) == pytest.approx(2.0)
+
+    def test_peak_half_denser_than_trough_half(self):
+        """More arrivals land in the high-rate half of each cycle."""
+        period = 50.0
+        times = DiurnalArrival(
+            rate=2.0, period=period, amplitude=0.8
+        ).arrival_times(4000, random.Random(13))
+        peak = sum(1 for t in times if (t % period) < period / 2)
+        trough = len(times) - peak
+        assert peak > 1.5 * trough
+
+    def test_seeded_determinism(self):
+        a = DiurnalArrival(rate=1.0, period=10.0).arrival_times(
+            50, random.Random(21)
+        )
+        b = DiurnalArrival(rate=1.0, period=10.0).arrival_times(
+            50, random.Random(21)
+        )
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalArrival(rate=0.0, period=10.0)
+        with pytest.raises(ValueError):
+            DiurnalArrival(rate=1.0, period=0.0)
+        with pytest.raises(ValueError):
+            DiurnalArrival(rate=1.0, period=10.0, amplitude=1.0)
+        with pytest.raises(ValueError):
+            DiurnalArrival(rate=1.0, period=10.0, start=-1.0)
+
+
+class TestMakeArrival:
+    @pytest.mark.parametrize("name", ARRIVAL_NAMES)
+    def test_every_name_builds_and_behaves(self, name):
+        process = make_arrival(name, rate=1.0, horizon=50.0)
+        times = process.arrival_times(40, random.Random(1))
+        assert len(times) == 40
+        assert times == sorted(times)
+        assert all(t >= 0 for t in times)
+        replay = make_arrival(name, rate=1.0, horizon=50.0).arrival_times(
+            40, random.Random(1)
+        )
+        assert times == replay
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_arrival("fractal", rate=1.0)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            make_arrival("poisson", rate=0.0)
