@@ -241,6 +241,20 @@ class ClusterMaster(PhaseHooks):
                     workers=len(self.workers),
                     tasks=len(self.records),
                 )
+                # One "arrived" per task, mirroring the simulator's trace:
+                # deadline + worst-case cost make the trace self-contained
+                # for the offline schedulability oracle even for tasks that
+                # expire before any other transition.
+                for task_id in sorted(self.records):
+                    task = self.records[task_id].task
+                    self.obs.emit(
+                        "task",
+                        transition="arrived",
+                        task_id=task_id,
+                        t=task.arrival_time,
+                        deadline=task.deadline,
+                        cost=task.processing_time,
+                    )
             self._loop()
         finally:
             try:

@@ -39,6 +39,14 @@ from .feasibility import (
 )
 from .phase import MIN_PHASE_TIME, PhaseResult, run_phase
 from .reference import reference_dcols, reference_rtsads
+from .registry import (
+    SCHEDULER_NAMES,
+    SchedulerContext,
+    get_scheduler_builder,
+    make_scheduler,
+    register_scheduler,
+    registered_names,
+)
 from .quantum import (
     FixedQuantum,
     LoadOnlyQuantum,
@@ -97,6 +105,7 @@ __all__ = [
     "PhaseResult",
     "QuantumPolicy",
     "RandomScheduler",
+    "SCHEDULER_NAMES",
     "RTSADS",
     "Schedule",
     "ScheduleEntry",
@@ -105,6 +114,7 @@ __all__ = [
     "SearchOutcome",
     "SearchScheduler",
     "SearchStats",
+    "SchedulerContext",
     "SelfAdjustingQuantum",
     "SequenceOrientedExpander",
     "SlackOnlyQuantum",
@@ -121,16 +131,20 @@ __all__ = [
     "get_evaluator",
     "get_expander",
     "get_quantum_policy",
+    "get_scheduler_builder",
     "is_feasible_against_bound",
     "is_feasible_assignment",
     "make_child",
     "make_root",
+    "make_scheduler",
     "make_task",
     "min_load",
     "min_slack",
     "phase_end_bound",
     "projected_offsets",
     "random_affinity",
+    "register_scheduler",
+    "registered_names",
     "reference_dcols",
     "reference_rtsads",
     "remaining_quantum",

@@ -24,6 +24,7 @@ from .affinity import CommunicationModel
 from .feasibility import projected_offsets
 from .phase import MIN_PHASE_TIME, PhaseResult
 from .quantum import QuantumPolicy, SelfAdjustingQuantum
+from .registry import SchedulerContext, register_scheduler
 from .schedule import Schedule, ScheduleEntry
 from ..observability import get_instrumentation
 from .scheduler import (
@@ -330,3 +331,33 @@ class MyopicScheduler(_ListScheduler):
         if obs.enabled:
             record_phase_metrics(obs, self.name, stats, phase_window, len(batch))
         return result
+
+
+def _build_greedy_edf(context: "SchedulerContext") -> GreedyEDFScheduler:
+    return GreedyEDFScheduler(
+        comm=context.comm,
+        quantum_policy=context.quantum_policy,
+        per_vertex_cost=context.per_vertex_cost,
+    )
+
+
+def _build_myopic(context: "SchedulerContext") -> MyopicScheduler:
+    return MyopicScheduler(
+        comm=context.comm,
+        quantum_policy=context.quantum_policy,
+        per_vertex_cost=context.per_vertex_cost,
+    )
+
+
+def _build_random(context: "SchedulerContext") -> RandomScheduler:
+    return RandomScheduler(
+        comm=context.comm,
+        quantum_policy=context.quantum_policy,
+        per_vertex_cost=context.per_vertex_cost,
+        seed=context.seed,
+    )
+
+
+register_scheduler("greedy_edf", _build_greedy_edf)
+register_scheduler("myopic", _build_myopic)
+register_scheduler("random", _build_random)

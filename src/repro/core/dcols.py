@@ -18,6 +18,7 @@ from ..observability import Instrumentation
 from .affinity import CommunicationModel
 from .cost import LoadBalancingEvaluator, VertexEvaluator
 from .quantum import QuantumPolicy, SelfAdjustingQuantum
+from .registry import SchedulerContext, register_scheduler
 from .representations import SequenceOrientedExpander
 from .scheduler import DEFAULT_PER_VERTEX_COST, SearchScheduler
 
@@ -73,3 +74,15 @@ class DCOLS(SearchScheduler):
         )
         self.beam_width = beam_width
         self.rotate_start = rotate_start
+
+
+def _build_dcols(context: "SchedulerContext") -> DCOLS:
+    return DCOLS(
+        comm=context.comm,
+        evaluator=context.evaluator,
+        quantum_policy=context.quantum_policy,
+        per_vertex_cost=context.per_vertex_cost,
+    )
+
+
+register_scheduler("dcols", _build_dcols)

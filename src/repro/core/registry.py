@@ -1,0 +1,96 @@
+"""Scheduler registry: every scheduling policy the repo can run.
+
+Mirrors the :class:`~repro.runtime.backend.ExecutionBackend` registry in
+``runtime/backend.py``: built-in schedulers load lazily (naming
+``"rtsads"`` must not import the zoo, and vice versa), third parties call
+:func:`register_scheduler` with a builder, and every experiment, figure,
+backend, and CLI flag can sweep any registered name immediately.
+
+A builder receives a :class:`SchedulerContext` — the frozen bag of
+construction inputs the experiment layer knows about — and returns a
+:class:`~repro.core.scheduler.Scheduler`.  Keeping the context in
+``core/`` means builders never import the experiment layer, so the
+dependency arrow stays ``experiments -> core``.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from .affinity import CommunicationModel
+from .scheduler import DEFAULT_PER_VERTEX_COST, Scheduler
+
+#: name -> module that registers it on import.  Order is meaningful: the
+#: first five entries preserve the historical ``SCHEDULER_NAMES`` tuple
+#: (golden fixtures, docs, and CLI help all enumerate in this order).
+_BUILTIN_MODULES = {
+    "rtsads": "repro.core.rtsads",
+    "dcols": "repro.core.dcols",
+    "greedy_edf": "repro.core.baselines",
+    "myopic": "repro.core.baselines",
+    "random": "repro.core.baselines",
+    "edf": "repro.core.zoo",
+    "partitioned-edf": "repro.core.zoo",
+    "candidate-sort": "repro.core.zoo",
+}
+
+#: The schedulers every installation has (CLI choices, config validation).
+SCHEDULER_NAMES = tuple(_BUILTIN_MODULES)
+
+_REGISTRY: Dict[str, Callable[["SchedulerContext"], Scheduler]] = {}
+
+
+@dataclass(frozen=True)
+class SchedulerContext:
+    """Construction inputs a scheduler builder may draw from.
+
+    ``evaluator`` and ``quantum_policy`` are the ablation overrides; the
+    search schedulers (RT-SADS, D-COLS) honour both, the one-pass list
+    schedulers take only the quantum policy — same contract the old
+    if-chain in ``experiments/runner.py`` implemented.  ``seed`` feeds
+    stochastic schedulers (``"random"``) so repetitions stay reproducible.
+    """
+
+    comm: CommunicationModel
+    per_vertex_cost: float = DEFAULT_PER_VERTEX_COST
+    evaluator: Optional[object] = None
+    quantum_policy: Optional[object] = None
+    seed: int = 0
+
+
+def register_scheduler(
+    name: str, builder: Callable[[SchedulerContext], Scheduler]
+) -> None:
+    """Register (or replace) a scheduler builder under ``name``."""
+    if not name:
+        raise ValueError("scheduler name must be a non-empty string")
+    _REGISTRY[name] = builder
+
+
+def get_scheduler_builder(
+    name: str,
+) -> Callable[[SchedulerContext], Scheduler]:
+    """Resolve a scheduler name to its registered builder."""
+    if name not in _REGISTRY:
+        module = _BUILTIN_MODULES.get(name)
+        if module is None:
+            known = sorted(set(_REGISTRY) | set(_BUILTIN_MODULES))
+            raise ValueError(
+                f"unknown scheduler {name!r}; choose from {known}"
+            )
+        importlib.import_module(module)  # module registers itself
+    return _REGISTRY[name]
+
+
+def make_scheduler(name: str, context: SchedulerContext) -> Scheduler:
+    """Instantiate a registered scheduler from a context."""
+    return get_scheduler_builder(name)(context)
+
+
+def registered_names() -> tuple:
+    """Every currently resolvable name: built-ins plus third-party."""
+    return tuple(
+        dict.fromkeys(list(_BUILTIN_MODULES) + sorted(_REGISTRY))
+    )

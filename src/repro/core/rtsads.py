@@ -16,6 +16,7 @@ from ..observability import Instrumentation
 from .affinity import CommunicationModel
 from .cost import LoadBalancingEvaluator, VertexEvaluator
 from .quantum import QuantumPolicy, SelfAdjustingQuantum
+from .registry import SchedulerContext, register_scheduler
 from .representations import AssignmentOrientedExpander
 from .scheduler import DEFAULT_PER_VERTEX_COST, SearchScheduler
 
@@ -70,3 +71,15 @@ class RTSADS(SearchScheduler):
             instrumentation=instrumentation,
             phase_runner=phase_runner,
         )
+
+
+def _build_rtsads(context: "SchedulerContext") -> RTSADS:
+    return RTSADS(
+        comm=context.comm,
+        evaluator=context.evaluator,
+        quantum_policy=context.quantum_policy,
+        per_vertex_cost=context.per_vertex_cost,
+    )
+
+
+register_scheduler("rtsads", _build_rtsads)

@@ -1,0 +1,261 @@
+"""Scheduler zoo: classic multiprocessor policies behind one interface.
+
+Three non-search schedulers that broaden the comparison beyond the
+paper's contenders, all built on the :class:`_ListScheduler` machinery so
+they charge the same virtual per-vertex cost and honour the same
+quantum-aware feasibility bound (the guarantee theorem holds for them):
+
+* :class:`GlobalEDFScheduler` — global earliest-deadline-first onto the
+  earliest-available processor, the textbook global-EDF dispatcher.
+* :class:`PartitionedEDFScheduler` — partitioned EDF: tasks are packed
+  onto processors in decreasing-size order with a worst-fit (default) or
+  first-fit bin-packing rule, then each processor runs its partition in
+  EDF order (Chen & Bansal, arXiv:1809.04355 style heuristics).
+* :class:`CandidateSortScheduler` — per-task candidate sorting in the
+  style of slot-allocation runtimes: rank every processor by affinity
+  (communication cost) then availability, and take the first feasible
+  candidate or declare the task stuck.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .affinity import CommunicationModel
+from .feasibility import projected_offsets
+from .baselines import _ListScheduler
+from .phase import MIN_PHASE_TIME, PhaseResult
+from .quantum import QuantumPolicy
+from .registry import SchedulerContext, register_scheduler
+from .schedule import Schedule, ScheduleEntry
+from .scheduler import DEFAULT_PER_VERTEX_COST, record_phase_metrics
+from .search import SearchStats
+from .task import Task
+from ..observability import get_instrumentation
+
+_EPS = 1e-9
+
+
+class GlobalEDFScheduler(_ListScheduler):
+    """EDF task order dispatched to the earliest-available processor.
+
+    Differs from :class:`~repro.core.baselines.GreedyEDFScheduler` in the
+    processor rule: global EDF takes the machine that frees up first
+    (least loaded), not the one that finishes *this* task first, so a
+    high-communication task still lands on the emptiest queue.
+    """
+
+    def __init__(
+        self,
+        comm: CommunicationModel,
+        quantum_policy: Optional[QuantumPolicy] = None,
+        per_vertex_cost: float = DEFAULT_PER_VERTEX_COST,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            comm, quantum_policy, per_vertex_cost, name="Global-EDF", **kwargs
+        )
+
+    def _pick_processor(self, task, offsets, bound, budget, stats):
+        budget.charge(len(offsets))
+        stats.vertices_generated += len(offsets)
+        best = None  # (offset, processor, comm_cost, end)
+        for processor, offset in enumerate(offsets):
+            comm_cost = self.comm.cost(task, processor)
+            end = offset + task.processing_time + comm_cost
+            if bound + end > task.deadline + _EPS:
+                stats.feasibility_rejections += 1
+                continue
+            key = (offset, processor)
+            if best is None or key < (best[0], best[1]):
+                best = (offset, processor, comm_cost, end)
+        if best is None:
+            return None
+        _, processor, comm_cost, end = best
+        return processor, comm_cost, end
+
+
+class CandidateSortScheduler(_ListScheduler):
+    """Sort each task's processor candidates, take the first feasible.
+
+    Candidates are ranked by (communication cost, availability, index):
+    affine processors first — a replica-local processor pays zero comm —
+    then the least-loaded among equals.  The first candidate that passes
+    the feasibility bound wins; if the sorted list is exhausted the task
+    is stuck this phase and waits for the next batch.
+    """
+
+    def __init__(
+        self,
+        comm: CommunicationModel,
+        quantum_policy: Optional[QuantumPolicy] = None,
+        per_vertex_cost: float = DEFAULT_PER_VERTEX_COST,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            comm,
+            quantum_policy,
+            per_vertex_cost,
+            name="Candidate-Sort",
+            **kwargs,
+        )
+
+    def _pick_processor(self, task, offsets, bound, budget, stats):
+        budget.charge(len(offsets))
+        stats.vertices_generated += len(offsets)
+        candidates = sorted(
+            (self.comm.cost(task, processor), offset, processor)
+            for processor, offset in enumerate(offsets)
+        )
+        for comm_cost, offset, processor in candidates:
+            end = offset + task.processing_time + comm_cost
+            if bound + end <= task.deadline + _EPS:
+                return processor, comm_cost, end
+            stats.feasibility_rejections += 1
+        return None
+
+
+class PartitionedEDFScheduler(_ListScheduler):
+    """Partitioned EDF: bin-pack tasks onto processors, run each in EDF.
+
+    Phase one packs the batch in decreasing processing-time order using a
+    worst-fit (``packing="wfd"``, default) or first-fit (``"ff"``) rule
+    over the feasible processors.  Phase two reorders every processor's
+    partition into EDF and recomputes completion times; because each
+    task's requirement on a fixed processor is constant (processing time
+    plus that pair's communication cost), the EDF exchange argument keeps
+    every packed task feasible, and a defensive re-check drops any that
+    are not rather than dispatching a doomed assignment.
+    """
+
+    def __init__(
+        self,
+        comm: CommunicationModel,
+        quantum_policy: Optional[QuantumPolicy] = None,
+        per_vertex_cost: float = DEFAULT_PER_VERTEX_COST,
+        packing: str = "wfd",
+        **kwargs,
+    ) -> None:
+        if packing not in ("wfd", "ff"):
+            raise ValueError("packing must be 'wfd' or 'ff'")
+        super().__init__(
+            comm,
+            quantum_policy,
+            per_vertex_cost,
+            name="Partitioned-EDF",
+            **kwargs,
+        )
+        self.packing = packing
+
+    def schedule_phase(
+        self,
+        batch: Sequence[Task],
+        loads: Sequence[float],
+        now: float,
+        quantum: float,
+    ) -> PhaseResult:
+        budget = self._phase_budget(len(batch), len(loads), quantum)
+        phase_window = budget.quantum  # quantum + phase overhead
+        offsets = list(projected_offsets(loads, phase_window))
+        initial = tuple(offsets)
+        bound = now + phase_window
+        stats = SearchStats()
+        schedule = Schedule()
+        viable = [
+            t
+            for t in sorted(
+                batch, key=lambda t: (-t.processing_time, t.deadline, t.task_id)
+            )
+            if bound + t.processing_time <= t.deadline + _EPS
+        ]
+        partitions: List[List[tuple]] = [[] for _ in offsets]
+        for task in viable:
+            if budget.exhausted():
+                break
+            stats.task_probes += 1
+            budget.charge(len(offsets))
+            stats.vertices_generated += len(offsets)
+            best = None  # (key, processor, comm_cost, end)
+            for processor, offset in enumerate(offsets):
+                comm_cost = self.comm.cost(task, processor)
+                end = offset + task.processing_time + comm_cost
+                if bound + end > task.deadline + _EPS:
+                    stats.feasibility_rejections += 1
+                    continue
+                if self.packing == "ff":
+                    best = (processor, processor, comm_cost, end)
+                    break
+                key = (offset, processor)  # worst fit: emptiest bin first
+                if best is None or key < best[0]:
+                    best = (key, processor, comm_cost, end)
+            if best is None:
+                continue
+            _, processor, comm_cost, end = best
+            offsets[processor] = end
+            partitions[processor].append((task, comm_cost))
+        # Each partition runs EDF on its processor; recompute the ends
+        # from the processor's initial offset and re-verify the bound.
+        for processor, assigned in enumerate(partitions):
+            cursor = initial[processor]
+            for task, comm_cost in sorted(
+                assigned, key=lambda pair: (pair[0].deadline, pair[0].task_id)
+            ):
+                end = cursor + task.processing_time + comm_cost
+                if bound + end > task.deadline + _EPS:
+                    stats.feasibility_rejections += 1
+                    continue
+                cursor = end
+                schedule.append(
+                    ScheduleEntry(
+                        task=task,
+                        processor=processor,
+                        communication_cost=comm_cost,
+                        scheduled_end=end,
+                    )
+                )
+        stats.expansions = len(schedule)
+        stats.max_depth = len(schedule)
+        stats.processors_touched = len(schedule.processors())
+        stats.complete = len(schedule) == len(batch)
+        stats.prefilter_rejected = len(batch) - len(viable)
+        result = PhaseResult(
+            schedule=schedule,
+            time_used=min(max(budget.used(), MIN_PHASE_TIME), phase_window),
+            quantum=phase_window,
+            phase_start=now,
+            stats=stats,
+            initial_offsets=initial,
+        )
+        obs = self.instrumentation or get_instrumentation()
+        if obs.enabled:
+            record_phase_metrics(obs, self.name, stats, phase_window, len(batch))
+        return result
+
+
+def _build_edf(context: SchedulerContext) -> GlobalEDFScheduler:
+    return GlobalEDFScheduler(
+        comm=context.comm,
+        quantum_policy=context.quantum_policy,
+        per_vertex_cost=context.per_vertex_cost,
+    )
+
+
+def _build_partitioned_edf(context: SchedulerContext) -> PartitionedEDFScheduler:
+    return PartitionedEDFScheduler(
+        comm=context.comm,
+        quantum_policy=context.quantum_policy,
+        per_vertex_cost=context.per_vertex_cost,
+    )
+
+
+def _build_candidate_sort(context: SchedulerContext) -> CandidateSortScheduler:
+    return CandidateSortScheduler(
+        comm=context.comm,
+        quantum_policy=context.quantum_policy,
+        per_vertex_cost=context.per_vertex_cost,
+    )
+
+
+register_scheduler("edf", _build_edf)
+register_scheduler("partitioned-edf", _build_partitioned_edf)
+register_scheduler("candidate-sort", _build_candidate_sort)

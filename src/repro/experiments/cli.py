@@ -42,6 +42,7 @@ from ..observability import (
     StructuredLogger,
     instrumented,
 )
+from ..core.registry import SCHEDULER_NAMES
 from ..runtime import BACKEND_NAMES
 from .config import ExperimentConfig
 from .sweep import DEFAULT_CACHE_DIR
@@ -134,6 +135,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--slack-factor", type=float, help="override slack factor SF"
     )
     parser.add_argument(
+        "--scheduler",
+        choices=SCHEDULER_NAMES,
+        help=(
+            "pin every cell to one scheduler registry name (default: the "
+            "paper's rtsads-vs-dcols comparison for figures, rtsads for "
+            "'cluster')"
+        ),
+    )
+    parser.add_argument(
         "--backend",
         choices=BACKEND_NAMES,
         help=(
@@ -223,11 +233,6 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=200,
         help="transactions in the live workload (default 200)",
-    )
-    cluster.add_argument(
-        "--scheduler",
-        default="rtsads",
-        help="scheduler to run on the live master (default rtsads)",
     )
     cluster.add_argument(
         "--kill-worker",
@@ -328,6 +333,8 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["slack_factor"] = args.slack_factor
     if args.backend is not None:
         overrides["backend"] = args.backend
+    if args.scheduler is not None:
+        overrides["scheduler"] = args.scheduler
     return replace(config, **overrides) if overrides else config
 
 
@@ -364,18 +371,39 @@ def run_experiment(name: str, config: ExperimentConfig) -> str:
     return build_experiment(name, config).render()
 
 
+def _sweep_regret(result) -> dict:
+    """Per-cell oracle regret summaries of one sweep, keyed for JSON.
+
+    Shape: ``{scheduler: {x_value: summary}}`` using
+    :func:`repro.metrics.regret.summarize_regret`; cells without regret
+    data (non-figure results) contribute nothing.  Deterministic given
+    the cells, so exports stay byte-stable across ``--jobs``/``--resume``.
+    """
+    section: dict = {}
+    for (scheduler, x), cell in getattr(result, "cells", {}).items():
+        if not hasattr(cell, "regret_summary"):
+            continue
+        section.setdefault(scheduler, {})[f"{x:g}"] = cell.regret_summary()
+    return section
+
+
 def export_figure_json(path: str, name: str, result) -> None:
     """Write one experiment's figure data as canonical JSON.
 
     Supports results carrying a ``figure`` (fig5/fig6 sweeps) and the
-    laxity result's per-SF sweep dict.  The document is dumped with sorted
-    keys and a fixed indent, and dataclass floats serialize via ``repr``,
-    so two runs that computed identical values produce byte-identical
-    files — this is what CI's ``sweep-smoke`` job compares across
-    ``--jobs`` counts.
+    laxity result's per-SF sweep dict; sweep results additionally carry a
+    ``regret`` section (compliance vs the schedulability oracle's bound,
+    see EXPERIMENTS.md).  The document is dumped with sorted keys and a
+    fixed indent, and dataclass floats serialize via ``repr``, so two
+    runs that computed identical values produce byte-identical files —
+    this is what CI's ``sweep-smoke`` job compares across ``--jobs``
+    counts.
     """
     if hasattr(result, "figure"):
         document = {"experiment": name, "figure": asdict(result.figure)}
+        regret = _sweep_regret(result)
+        if regret:
+            document["regret"] = regret
     elif hasattr(result, "sweeps"):
         document = {
             "experiment": name,
@@ -384,6 +412,12 @@ def export_figure_json(path: str, name: str, result) -> None:
                 for sf in sorted(result.sweeps)
             },
         }
+        regret = {
+            f"SF={sf:g}": _sweep_regret(result.sweeps[sf])
+            for sf in sorted(result.sweeps)
+        }
+        if any(regret.values()):
+            document["regret"] = regret
     else:
         raise ValueError(
             f"experiment {name!r} has no figure data to export; "
@@ -444,8 +478,9 @@ def run_cluster(args: argparse.Namespace) -> int:
     # on real processes.
     seed = config.seeds()[0]
     obs = build_instrumentation(args)
+    scheduler = args.scheduler or "rtsads"
     if obs is None:
-        report = run_once(config, args.scheduler, seed, backend=backend)
+        report = run_once(config, scheduler, seed, backend=backend)
     else:
         try:
             with instrumented(obs):
@@ -453,7 +488,7 @@ def run_cluster(args: argparse.Namespace) -> int:
                     "cluster_run", workers=config.num_processors
                 ):
                     report = run_once(
-                        config, args.scheduler, seed, backend=backend
+                        config, scheduler, seed, backend=backend
                     )
             if args.metrics_out:
                 write_metrics_snapshot(

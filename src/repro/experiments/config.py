@@ -73,6 +73,14 @@ class ExperimentConfig:
     # registered by downstream code.
     backend: str = "sim"
 
+    # Registry name of the scheduler to run (see repro.core.registry).
+    # None means "no explicit choice": experiments fall back to their own
+    # scheduler set (the figures compare rtsads vs dcols), while a name
+    # pins every cell of a sweep to that one scheduler.  An ordinary
+    # cache field, so `--scheduler edf` sweeps are content-addressed
+    # separately from the default comparisons.
+    scheduler: Optional[str] = None
+
     # --- service mode (see src/repro/service/; ignored by sim/cluster) ---
     # Arrival-process name for the open-loop load generator (a key of
     # repro.workload.arrivals.ARRIVAL_NAMES), the offered load as a
@@ -114,6 +122,10 @@ class ExperimentConfig:
             raise ValueError("runs must be positive")
         if not self.backend:
             raise ValueError("backend must be a non-empty registry name")
+        if self.scheduler is not None and not self.scheduler:
+            raise ValueError(
+                "scheduler must be None or a non-empty registry name"
+            )
         if self.arrival not in ARRIVAL_NAMES:
             raise ValueError(
                 f"arrival must be one of {ARRIVAL_NAMES}, got {self.arrival!r}"
@@ -190,6 +202,10 @@ class ExperimentConfig:
     def with_backend(self, backend: str) -> "ExperimentConfig":
         """A copy dispatching to another execution backend registry name."""
         return replace(self, backend=backend)
+
+    def with_scheduler(self, scheduler: Optional[str]) -> "ExperimentConfig":
+        """A copy pinned to one scheduler registry name (None unpins)."""
+        return replace(self, scheduler=scheduler)
 
     def with_offered_load(self, offered_load: float) -> "ExperimentConfig":
         """A copy with ``offered_load`` replaced (load-curve sweep axis)."""

@@ -54,7 +54,24 @@ DISPLAY_NAMES = {
     "greedy_edf": "Greedy-EDF",
     "myopic": "Myopic",
     "random": "Random",
+    "edf": "Global-EDF",
+    "partitioned-edf": "Partitioned-EDF",
+    "candidate-sort": "Candidate-Sort",
 }
+
+#: The paper's head-to-head comparison, used whenever a config does not
+#: pin a scheduler of its own.
+DEFAULT_SCHEDULERS = ("rtsads", "dcols")
+
+
+def _pick_schedulers(
+    config: ExperimentConfig, schedulers: Sequence[str]
+) -> Sequence[str]:
+    """``config.scheduler`` pins a sweep to one scheduler; otherwise the
+    caller's (usually the paper's) comparison set stands."""
+    if config.scheduler is not None:
+        return (config.scheduler,)
+    return schedulers
 
 
 @dataclass
@@ -143,6 +160,7 @@ def figure5(
 ) -> SweepResult:
     """Paper Figure 5: deadline scalability (R=30%, SF=1, m=2..10)."""
     config = config or ExperimentConfig.paper()
+    schedulers = _pick_schedulers(config, schedulers)
     configs = [config.with_processors(m) for m in processors]
     return _run_sweep(
         title=(
@@ -167,6 +185,7 @@ def figure6(
 ) -> SweepResult:
     """Paper Figure 6: compliance vs replication rate (P=10, SF=1)."""
     config = config or ExperimentConfig.paper()
+    schedulers = _pick_schedulers(config, schedulers)
     configs = [config.with_replication(r) for r in replication_rates]
     return _run_sweep(
         title=(
@@ -207,6 +226,7 @@ def laxity_sweep(
 ) -> LaxitySweepResult:
     """Section 5.1's "SF values range from 1 to 3" across the m sweep."""
     config = config or ExperimentConfig.paper()
+    schedulers = _pick_schedulers(config, schedulers)
     sweeps = {}
     for slack_factor in slack_factors:
         sf_config = config.with_slack_factor(slack_factor)

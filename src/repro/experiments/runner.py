@@ -16,17 +16,21 @@ cluster and comes back as the same
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Optional, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
 
+from ..analysis.schedulability import (
+    analyze_tasks,
+    regret_section,
+    unknown_regret_section,
+)
 from ..core.affinity import UniformCommunicationModel
-from ..core.baselines import GreedyEDFScheduler, MyopicScheduler, RandomScheduler
 from ..core.cost import VertexEvaluator
-from ..core.dcols import DCOLS
 from ..core.quantum import QuantumPolicy
-from ..core.rtsads import RTSADS
+from ..core.registry import SCHEDULER_NAMES, SchedulerContext, make_scheduler
 from ..core.scheduler import Scheduler
 from ..database.database import DatabaseConfig, DistributedDatabase
+from ..metrics.regret import summarize_regret
 from ..metrics.stats import ConfidenceInterval, confidence_interval, mean
 from ..observability import get_instrumentation
 from ..runtime.backend import ExecutionBackend, get_backend
@@ -37,10 +41,6 @@ from ..workload.transactions import (
 )
 from .config import ExperimentConfig
 
-#: Registry of scheduler builders: name -> (config, comm, overrides) -> Scheduler.
-SCHEDULER_NAMES = ("rtsads", "dcols", "greedy_edf", "myopic", "random")
-
-
 def build_scheduler(
     name: str,
     config: ExperimentConfig,
@@ -48,41 +48,21 @@ def build_scheduler(
     evaluator: Optional[VertexEvaluator] = None,
     quantum_policy: Optional[QuantumPolicy] = None,
 ) -> Scheduler:
-    """Instantiate a scheduler by registry name with optional overrides."""
-    if name == "rtsads":
-        return RTSADS(
+    """Instantiate a scheduler by registry name with optional overrides.
+
+    Thin adapter over :func:`repro.core.registry.make_scheduler`: it packs
+    the experiment-level knobs into a
+    :class:`~repro.core.registry.SchedulerContext` so builders stay
+    ignorant of :class:`ExperimentConfig`.
+    """
+    return make_scheduler(
+        name,
+        SchedulerContext(
             comm=comm,
+            per_vertex_cost=config.per_vertex_cost,
             evaluator=evaluator,
             quantum_policy=quantum_policy,
-            per_vertex_cost=config.per_vertex_cost,
-        )
-    if name == "dcols":
-        return DCOLS(
-            comm=comm,
-            evaluator=evaluator,
-            quantum_policy=quantum_policy,
-            per_vertex_cost=config.per_vertex_cost,
-        )
-    if name == "greedy_edf":
-        return GreedyEDFScheduler(
-            comm=comm,
-            quantum_policy=quantum_policy,
-            per_vertex_cost=config.per_vertex_cost,
-        )
-    if name == "myopic":
-        return MyopicScheduler(
-            comm=comm,
-            quantum_policy=quantum_policy,
-            per_vertex_cost=config.per_vertex_cost,
-        )
-    if name == "random":
-        return RandomScheduler(
-            comm=comm,
-            quantum_policy=quantum_policy,
-            per_vertex_cost=config.per_vertex_cost,
-        )
-    raise ValueError(
-        f"unknown scheduler {name!r}; choose from {SCHEDULER_NAMES}"
+        ),
     )
 
 
@@ -129,7 +109,7 @@ def run_once(
     ``run_once(config, name, seed)`` keeps running on the simulator.
     """
     chosen = get_backend(backend if backend is not None else config.backend)
-    return chosen.run_once(
+    report = chosen.run_once(
         config,
         scheduler_name,
         seed,
@@ -137,6 +117,34 @@ def run_once(
         quantum_policy=quantum_policy,
         validate_phases=validate_phases,
     )
+    if not report.regret:
+        report.regret = _regret_for(report, config, seed)
+    return report
+
+
+#: Backends whose workload :func:`build_workload` reconstructs exactly
+#: (the live cluster mirrors the simulator's generator, same seed).
+_ORACLE_BACKENDS = frozenset({"sim", "cluster"})
+
+
+def _regret_for(
+    report: RunReport, config: ExperimentConfig, seed: int
+) -> dict:
+    """Oracle verdict + regret for one finished run.
+
+    The oracle rebuilds the run's workload offline — possible whenever
+    the backend derives its task set deterministically from ``(config,
+    seed)``.  Backends that mint tasks at request time (the streaming
+    service) get an explicit ``unknown`` placeholder instead, keeping the
+    exported schema identical everywhere.
+    """
+    if report.backend not in _ORACLE_BACKENDS:
+        return unknown_regret_section(
+            report.total_tasks, report.num_workers
+        )
+    _, tasks = build_workload(config, seed)
+    verdict = analyze_tasks(tasks, config.num_processors)
+    return regret_section(verdict, report.deadline_hits)
 
 
 @dataclass
@@ -152,6 +160,13 @@ class CellResult:
     scheduling_times: List[float]
     makespans: List[float]
     scheduled_but_missed: int
+    #: One schedulability-oracle regret section per repetition (empty
+    #: dicts when the oracle was not consulted for that run).
+    regrets: List[Dict[str, object]] = field(default_factory=list)
+
+    def regret_summary(self) -> Dict[str, object]:
+        """Per-cell aggregate of the repetitions' oracle verdicts."""
+        return summarize_regret(self.regrets)
 
     @property
     def mean_hit_percent(self) -> float:
@@ -225,6 +240,7 @@ def run_cell(
     processors_touched: List[float] = []
     scheduling_times: List[float] = []
     makespans: List[float] = []
+    regrets: List[Dict[str, object]] = []
     missed = 0
     seeds = config.seeds()
     for repetition, seed in enumerate(seeds, start=1):
@@ -242,6 +258,7 @@ def run_cell(
         processors_touched.append(report.mean_processors_touched)
         scheduling_times.append(report.total_scheduling_time)
         makespans.append(report.makespan)
+        regrets.append(dict(report.regret))
         missed += report.guaranteed_violations
         obs.logger.info(
             "repetition done",
@@ -264,6 +281,7 @@ def run_cell(
         scheduling_times=scheduling_times,
         makespans=makespans,
         scheduled_but_missed=missed,
+        regrets=regrets,
     )
     if obs.enabled:
         _record_cell_snapshot(obs, cell, counters_before)

@@ -59,7 +59,9 @@ from .config import ExperimentConfig
 #: (or be poisoned by) records written by an older one.
 #: v2: records carry the cell's counter deltas, so cached cells keep
 #: their metrics contribution on --resume.
-CACHE_SCHEMA_VERSION = 2
+#: v3: records carry the run's schedulability-oracle regret section, and
+#: the config grew a ``scheduler`` cache field.
+CACHE_SCHEMA_VERSION = 3
 
 #: The cache directory the CLI defaults to (relative to the working dir).
 DEFAULT_CACHE_DIR = "results/cache"
@@ -118,6 +120,10 @@ class CellRecord:
     #: metrics to ``--metrics-out`` on resume; empty when the run was
     #: uninstrumented.
     counters: Dict[str, float] = field(default_factory=dict)
+    #: The run's schedulability-oracle verdict + regret (see
+    #: :func:`repro.analysis.schedulability.regret_section`); empty when
+    #: the oracle was not consulted.
+    regret: Dict[str, object] = field(default_factory=dict)
 
     @classmethod
     def from_report(cls, report, elapsed_seconds: float = 0.0) -> "CellRecord":
@@ -136,6 +142,7 @@ class CellRecord:
             num_phases=report.num_phases,
             wall_seconds=report.wall_seconds,
             elapsed_seconds=elapsed_seconds,
+            regret=dict(report.regret),
         )
 
     def as_dict(self) -> Dict[str, object]:
@@ -623,6 +630,7 @@ def _aggregate(cell_result_cls, config, scheduler_name, records):
         scheduling_times=[r.total_scheduling_time for r in records],
         makespans=[r.makespan for r in records],
         scheduled_but_missed=sum(r.guaranteed_violations for r in records),
+        regrets=[dict(r.regret) for r in records],
     )
 
 

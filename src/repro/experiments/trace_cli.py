@@ -111,10 +111,17 @@ def run_analyze(args: argparse.Namespace) -> int:
                     "deadline": miss.deadline,
                     "miss_time": miss.miss_time,
                     "phase": miss.phase,
+                    "workload": miss.workload,
+                    "regret": miss.is_regret,
                 }
                 for miss in report.misses
             ],
             "by_cause": dict(report.by_cause),
+            "workload_class": report.workload_class,
+            "regret_misses": report.regret_misses,
+            "oracle": (
+                report.oracle.as_dict() if report.oracle is not None else None
+            ),
         }
         json.dump(document, sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")

@@ -33,6 +33,7 @@ from .analyze import (
     render_attribution,
     render_diff,
     render_timeline,
+    trace_oracle,
 )
 from .clockskew import ClockOffsetEstimator
 from .instrument import (
@@ -70,6 +71,7 @@ __all__ = [
     "render_attribution",
     "render_diff",
     "render_timeline",
+    "trace_oracle",
     "Gauge",
     "Histogram",
     "Instrumentation",

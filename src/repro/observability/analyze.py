@@ -32,6 +32,14 @@ Classification is a strict first-match cascade in the order above, so
 attribution is total (100% of misses) and exclusive (exactly one cause
 per miss) by construction.
 
+Orthogonally to the *cause*, every miss is labeled with the workload's
+offline schedulability verdict (:mod:`repro.analysis.schedulability`),
+reconstructed from the trace's enriched ``arrived`` events: a miss on a
+provably-**feasible** workload is *regret* — the scheduler alone left
+the deadline on the table — while a miss on a provably-**infeasible**
+workload may have been forced by the workload no matter the scheduler.
+Traces that predate arrival enrichment classify as ``unknown``.
+
 The module is pure: functions take event lists (as returned by
 :func:`~repro.observability.sinks.read_jsonl`) and return dataclasses or
 rendered ASCII tables.  The ``repro trace`` CLI is a thin wrapper.
@@ -42,6 +50,14 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.schedulability import (
+    FEASIBLE,
+    INFEASIBLE,
+    UNKNOWN,
+    SchedulabilityVerdict,
+    analyze_triples,
+)
 
 #: Deadline-comparison slop in virtual units (mirrors the core EPSILON).
 EPSILON = 1e-9
@@ -162,6 +178,17 @@ class MissAttribution:
     deadline: Optional[float] = None
     miss_time: Optional[float] = None
     phase: Optional[int] = None
+    #: The trace-level oracle verdict this miss happened under: a miss on
+    #: a provably-``feasible`` workload is *regret* (the scheduler alone
+    #: is to blame), one on a provably-``infeasible`` workload may have
+    #: been forced by the workload itself, and ``unknown`` means the
+    #: trace lacked the per-task data to decide.
+    workload: str = UNKNOWN
+
+    @property
+    def is_regret(self) -> bool:
+        """True when no scheduler could have missed this deadline set."""
+        return self.workload == FEASIBLE
 
 
 @dataclass
@@ -172,6 +199,10 @@ class AttributionReport:
     outcomes: Counter
     misses: List[MissAttribution]
     phases: int
+    #: Offline schedulability verdict reconstructed from the trace's
+    #: ``arrived`` events (None when the trace predates arrival
+    #: enrichment or omits ``run_start``'s worker count).
+    oracle: Optional[SchedulabilityVerdict] = None
 
     @property
     def by_cause(self) -> Counter:
@@ -182,6 +213,56 @@ class AttributionReport:
     def by_phase(self) -> Counter:
         """Miss counts per dispatch phase; never-placed misses key None."""
         return Counter(miss.phase for miss in self.misses)
+
+    @property
+    def workload_class(self) -> str:
+        """Oracle verdict string for the whole trace (``unknown`` w/o one)."""
+        return self.oracle.verdict if self.oracle is not None else UNKNOWN
+
+    @property
+    def regret_misses(self) -> int:
+        """Misses the oracle proves avoidable.
+
+        On a provably-feasible workload every miss is regret; on a
+        provably-infeasible one only the misses beyond the oracle's
+        forced-miss floor are (the floor's worth may have been inevitable
+        no matter the scheduler); without a verdict nothing is claimed.
+        """
+        if self.oracle is None or self.workload_class == UNKNOWN:
+            return 0
+        return max(0, len(self.misses) - self.oracle.forced_misses)
+
+
+def trace_oracle(
+    events: Sequence[Dict[str, object]],
+    timelines: Dict[int, TaskTimeline],
+) -> Optional[SchedulabilityVerdict]:
+    """Schedulability verdict of the workload one trace recorded.
+
+    Rebuilds ``(arrival, cost, deadline)`` triples from the task
+    timelines and the worker count from ``run_start``, then runs the
+    offline oracle (:mod:`repro.analysis.schedulability`).  Returns None
+    — *no claim*, rather than a guess — unless **every** task carries
+    all three numbers: a partial reconstruction could misclassify the
+    workload (e.g. calling it feasible because the costly tasks were the
+    undocumented ones).
+    """
+    workers = None
+    for event in events:
+        if event.get("event") == "run_start":
+            workers = _num(event.get("workers"))
+            break
+    if workers is None or int(workers) <= 0 or not timelines:
+        return None
+    triples = []
+    for timeline in timelines.values():
+        arrival = timeline.arrival
+        cost = timeline.field_value("cost")
+        deadline = timeline.deadline
+        if arrival is None or cost is None or deadline is None:
+            return None
+        triples.append((arrival, cost, deadline))
+    return analyze_triples(triples, int(workers))
 
 
 def build_timelines(
@@ -326,6 +407,8 @@ def attribute_misses(
     """
     timelines = build_timelines(events)
     phases = phase_windows(events)
+    oracle = trace_oracle(events, timelines)
+    workload = oracle.verdict if oracle is not None else UNKNOWN
     outcomes: Counter = Counter()
     misses: List[MissAttribution] = []
     for task_id in sorted(timelines):
@@ -351,6 +434,7 @@ def attribute_misses(
                     _num(terminal.get("t")) if terminal is not None else None
                 ),
                 phase=phase,
+                workload=workload,
             )
         )
     return AttributionReport(
@@ -358,6 +442,7 @@ def attribute_misses(
         outcomes=outcomes,
         misses=misses,
         phases=len(phases),
+        oracle=oracle,
     )
 
 
@@ -385,6 +470,26 @@ def _table(
     return lines
 
 
+def _oracle_line(report: AttributionReport, total_misses: int) -> str:
+    """One sentence classifying the misses against the workload oracle."""
+    verdict = report.workload_class
+    if verdict == FEASIBLE:
+        return (
+            f"workload oracle: provably feasible — all {total_misses} "
+            f"misses are regret (a clairvoyant scheduler misses none)"
+        )
+    if verdict == INFEASIBLE:
+        forced = report.oracle.forced_misses
+        return (
+            f"workload oracle: provably infeasible (>= {forced} forced "
+            f"misses) — regret beyond that floor: {report.regret_misses}"
+        )
+    return (
+        "workload oracle: unknown (trace lacks per-task arrival/cost/"
+        "deadline or a run_start worker count)"
+    )
+
+
 def render_attribution(report: AttributionReport) -> str:
     """The attribution report as human-readable ASCII tables."""
     lines = [
@@ -408,6 +513,7 @@ def render_attribution(report: AttributionReport) -> str:
         return "\n".join(lines)
     by_cause = report.by_cause
     lines.append(f"deadline misses: {total_misses} (100% attributed)")
+    lines.append(_oracle_line(report, total_misses))
     lines.extend(
         _table(
             ["cause", "misses", "share"],
@@ -440,12 +546,13 @@ def render_attribution(report: AttributionReport) -> str:
     lines.append("")
     lines.extend(
         _table(
-            ["task", "outcome", "cause", "deadline", "missed at"],
+            ["task", "outcome", "cause", "workload", "deadline", "missed at"],
             [
                 [
                     miss.task_id,
                     miss.outcome,
                     miss.cause,
+                    "regret" if miss.is_regret else miss.workload,
                     "-" if miss.deadline is None else f"{miss.deadline:.1f}",
                     "-" if miss.miss_time is None else f"{miss.miss_time:.1f}",
                 ]

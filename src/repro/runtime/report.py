@@ -50,6 +50,11 @@ class RunReport:
     makespan: float
     wall_seconds: float
     phases: List[PhaseTrace] = field(default_factory=list)
+    #: Schedulability-oracle verdict and regret for this run's workload
+    #: (see :mod:`repro.analysis.schedulability`).  Populated by the
+    #: experiment runner after the backend returns; empty means the
+    #: oracle was not consulted.
+    regret: Dict[str, object] = field(default_factory=dict)
     #: Backend artifacts outside the stable schema (never exported).
     extras: Dict[str, object] = field(
         default_factory=dict, repr=False, compare=False
@@ -215,6 +220,7 @@ class RunReport:
             "hit_ratio": self.hit_ratio,
             "guarantee_ratio": self.guarantee_ratio,
             "num_phases": self.num_phases,
+            "regret": dict(self.regret),
             "phases": [asdict(phase) for phase in self.phases],
         }
 

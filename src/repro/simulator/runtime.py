@@ -166,7 +166,16 @@ class DistributedRuntime(PhaseHooks):
     def _on_task_arrived(self, now: float, event: TaskArrived) -> None:
         self.driver.admit([event.task])
         if self.obs.enabled:
-            self._task_event("arrived", event.task.task_id, now)
+            # Deadline + worst-case cost ride on the arrival so a trace is
+            # self-contained for the offline schedulability oracle (expired
+            # tasks never reach a transition that stamps their cost).
+            self._task_event(
+                "arrived",
+                event.task.task_id,
+                now,
+                deadline=event.task.deadline,
+                cost=event.task.processing_time,
+            )
         self._request_wake(now)
 
     def _request_wake(self, now: float) -> None:

@@ -1,0 +1,138 @@
+"""Direct unit tests for the offline schedulability oracle.
+
+The conformance suite exercises the oracle against real schedulers
+(soundness of ``hits_upper_bound``); these tests pin the oracle's own
+contract on hand-built workloads where the right verdict is known by
+construction: each verdict class, the forced-miss floor, the regret
+arithmetic, and the input-validation guards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    FEASIBLE,
+    INFEASIBLE,
+    UNKNOWN,
+    analyze_tasks,
+    analyze_triples,
+    regret_section,
+    unknown_regret_section,
+)
+
+
+class _Task:
+    """Minimal stand-in exposing the attributes analyze_tasks reads."""
+
+    def __init__(self, arrival: float, cost: float, deadline: float):
+        self.arrival_time = arrival
+        self.processing_time = cost
+        self.deadline = deadline
+
+
+class TestVerdicts:
+    def test_empty_workload_is_feasible(self):
+        verdict = analyze_triples([], workers=2)
+        assert verdict.verdict == FEASIBLE
+        assert verdict.total_tasks == 0
+        assert verdict.hits_upper_bound == 0
+
+    def test_loose_workload_is_feasible_via_witness(self):
+        triples = [(0.0, 1.0, 10.0), (0.0, 2.0, 20.0), (5.0, 1.0, 30.0)]
+        verdict = analyze_triples(triples, workers=1)
+        assert verdict.verdict == FEASIBLE
+        assert verdict.forced_misses == 0
+        assert verdict.witness_hits == 3
+        assert verdict.hits_upper_bound == 3
+
+    def test_impossible_task_forces_infeasible(self):
+        # cost 30 in a window of 10: no schedule meets it.
+        verdict = analyze_triples([(0.0, 30.0, 10.0)], workers=4)
+        assert verdict.verdict == INFEASIBLE
+        assert verdict.impossible_tasks == 1
+        assert verdict.forced_misses >= 1
+        assert verdict.hits_upper_bound == 0
+
+    def test_demand_bound_forces_infeasible(self):
+        # Three unit-window tasks, each individually possible, but
+        # 30 units of demand in [0, 10] on one machine: any schedule
+        # (even preemptive and clairvoyant) misses at least two.
+        triples = [(0.0, 10.0, 10.0)] * 3
+        verdict = analyze_triples(triples, workers=1)
+        assert verdict.verdict == INFEASIBLE
+        assert verdict.impossible_tasks == 0
+        assert verdict.forced_misses == 2
+        assert verdict.hits_upper_bound == 1
+
+    def test_gap_between_tests_is_unknown(self):
+        # The long task must start immediately to make its deadline, but
+        # then the short late arrival is blocked; the demand bound cannot
+        # see it (no single interval is overloaded) and the EDF witness
+        # cannot schedule it, so the oracle must decline to rule.
+        triples = [(0.0, 5.0, 6.0), (1.0, 1.0, 2.0)]
+        verdict = analyze_triples(triples, workers=1)
+        assert verdict.verdict == UNKNOWN
+        assert verdict.forced_misses == 0
+        assert verdict.witness_hits < verdict.total_tasks
+
+    def test_more_workers_restore_feasibility(self):
+        triples = [(0.0, 10.0, 10.0)] * 3
+        assert analyze_triples(triples, workers=3).verdict == FEASIBLE
+
+    def test_analyze_tasks_matches_analyze_triples(self):
+        triples = [(0.0, 4.0, 9.0), (2.0, 3.0, 12.0), (0.0, 9.0, 8.0)]
+        tasks = [_Task(a, p, d) for a, p, d in triples]
+        assert analyze_tasks(tasks, 2) == analyze_triples(triples, 2)
+
+
+class TestGuards:
+    @pytest.mark.parametrize("workers", [0, -1])
+    def test_analyze_triples_rejects_nonpositive_workers(self, workers):
+        with pytest.raises(ValueError):
+            analyze_triples([(0.0, 1.0, 2.0)], workers)
+
+    @pytest.mark.parametrize("workers", [0, -3])
+    def test_analyze_tasks_rejects_nonpositive_workers(self, workers):
+        with pytest.raises(ValueError):
+            analyze_tasks([_Task(0.0, 1.0, 2.0)], workers)
+
+
+class TestRegretArithmetic:
+    def test_regret_is_shortfall_below_the_bound(self):
+        verdict = analyze_triples([(0.0, 10.0, 10.0)] * 3, workers=1)
+        assert verdict.hits_upper_bound == 1
+        assert verdict.regret(0) == 1
+        assert verdict.regret(1) == 0
+        # A real run can never beat the bound, but the arithmetic must
+        # stay clamped if handed an inconsistent hit count.
+        assert verdict.regret(5) == 0
+        assert verdict.compliance_vs_bound(5) == 1.0
+
+    def test_compliance_with_zero_bound_is_vacuously_full(self):
+        verdict = analyze_triples([(0.0, 30.0, 10.0)], workers=1)
+        assert verdict.hits_upper_bound == 0
+        assert verdict.compliance_vs_bound(0) == 1.0
+
+    def test_regret_section_extends_the_verdict_dict(self):
+        verdict = analyze_triples([(0.0, 1.0, 10.0)] * 4, workers=2)
+        section = regret_section(verdict, deadline_hits=3)
+        assert section["verdict"] == verdict.verdict
+        assert section["deadline_hits"] == 3
+        assert section["regret_misses"] == verdict.regret(3)
+        assert section["compliance_vs_bound"] == pytest.approx(0.75)
+
+    def test_unknown_regret_section_claims_nothing(self):
+        section = unknown_regret_section(total_tasks=12, workers=3)
+        assert section["verdict"] == UNKNOWN
+        assert section["total_tasks"] == 12
+        assert section["workers"] == 3
+        assert section["forced_misses"] == 0
+        assert section["hits_upper_bound"] == 12
+        assert section["regret_misses"] == 0
+        assert section["compliance_vs_bound"] == 1.0
+        # Same schema as a real section, so exports stay uniform.
+        real = regret_section(
+            analyze_triples([(0.0, 1.0, 10.0)], 1), deadline_hits=1
+        )
+        assert sorted(section) == sorted(real)

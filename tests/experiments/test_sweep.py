@@ -85,6 +85,7 @@ class TestConfigDigest:
             "confidence": 0.95,
             "significance_level": 0.05,
             "backend": "cluster",
+            "scheduler": "edf",
             "arrival": "poisson",
             "offered_load": 1.4,
             "admission_policy": "least-slack",

@@ -1,0 +1,197 @@
+"""Regret labeling: misses classified against the workload oracle.
+
+Ground-truth traces, one per workload class the analyzer can assign:
+
+* provably **feasible** — every miss is *regret* (the scheduler alone is
+  to blame; a clairvoyant scheduler would have missed nothing);
+* provably **infeasible** — at least one miss was forced by the workload
+  no matter the scheduler, so nothing beyond the oracle's floor is
+  claimed as regret;
+* **unknown** — the trace predates arrival enrichment (no per-task cost
+  or no ``run_start`` worker count), so no claim is made at all.
+
+Plus the end-to-end check that an instrumented simulator run emits
+enriched ``arrived`` events the oracle can actually consume.
+"""
+
+from repro.analysis.schedulability import FEASIBLE, INFEASIBLE, UNKNOWN
+from repro.core import RTSADS, UniformCommunicationModel, make_task
+from repro.observability import (
+    Instrumentation,
+    MemorySink,
+    attribute_misses,
+    render_attribution,
+    trace_oracle,
+)
+from repro.observability.analyze import build_timelines
+from repro.simulator import simulate
+
+
+def run_start(workers=1, tasks=1):
+    return {"event": "run_start", "workers": workers, "tasks": tasks}
+
+
+def task(task_id, transition, **fields):
+    event = {"event": "task", "task_id": task_id, "transition": transition}
+    event.update(fields)
+    return event
+
+
+def feasible_trace_with_regret():
+    """Two small tasks, one worker, generous deadlines — yet one misses.
+
+    Demand is 2+2=4 units against a deadline horizon of 20 on one
+    worker, and the clairvoyant EDF witness schedules both, so the
+    oracle says *feasible*; the trace nevertheless records task 2
+    expiring (say the scheduler sat on it), which is pure regret.
+    """
+    return [
+        run_start(workers=1, tasks=2),
+        task(1, "arrived", t=0.0, deadline=20.0, cost=2.0),
+        task(2, "arrived", t=0.0, deadline=20.0, cost=2.0),
+        task(1, "dispatched", t=1.0, processor=0, phase=0, deadline=20.0),
+        task(1, "started", t=1.0, processor=0),
+        task(1, "finished", t=3.0, processor=0, met_deadline=True,
+             deadline=20.0),
+        task(2, "expired", t=20.0, deadline=20.0),
+    ]
+
+
+def infeasible_trace():
+    """A task that cannot make its deadline on any machine.
+
+    Arrival 0, cost 30, deadline 10: ``a + p > d``, so the oracle proves
+    the workload infeasible with one forced miss — the recorded expiry
+    is not (provably) the scheduler's fault.
+    """
+    return [
+        run_start(workers=2, tasks=2),
+        task(1, "arrived", t=0.0, deadline=10.0, cost=30.0),
+        task(2, "arrived", t=0.0, deadline=50.0, cost=2.0),
+        task(2, "dispatched", t=1.0, processor=0, phase=0, deadline=50.0),
+        task(2, "started", t=1.0, processor=0),
+        task(2, "finished", t=3.0, processor=0, met_deadline=True,
+             deadline=50.0),
+        task(1, "expired", t=10.0, deadline=10.0),
+    ]
+
+
+def legacy_trace_without_costs():
+    """Pre-enrichment trace: arrivals carry no cost, no claim possible."""
+    return [
+        run_start(workers=1, tasks=1),
+        task(1, "arrived", t=0.0, deadline=10.0),
+        task(1, "expired", t=10.0, deadline=10.0),
+    ]
+
+
+class TestGroundTruthPerClass:
+    def test_feasible_workload_miss_is_regret(self):
+        report = attribute_misses(feasible_trace_with_regret())
+        assert report.workload_class == FEASIBLE
+        assert report.oracle is not None
+        assert report.oracle.forced_misses == 0
+        (miss,) = report.misses
+        assert miss.workload == FEASIBLE
+        assert miss.is_regret
+        assert report.regret_misses == 1
+
+    def test_infeasible_workload_miss_is_not_regret(self):
+        report = attribute_misses(infeasible_trace())
+        assert report.workload_class == INFEASIBLE
+        assert report.oracle.forced_misses >= 1
+        (miss,) = report.misses
+        assert miss.workload == INFEASIBLE
+        assert not miss.is_regret
+        # One miss, and the oracle forced at least one: no regret claimed.
+        assert report.regret_misses == 0
+
+    def test_legacy_trace_classifies_unknown(self):
+        report = attribute_misses(legacy_trace_without_costs())
+        assert report.workload_class == UNKNOWN
+        assert report.oracle is None
+        (miss,) = report.misses
+        assert miss.workload == UNKNOWN
+        assert not miss.is_regret
+        assert report.regret_misses == 0
+
+    def test_missing_run_start_classifies_unknown(self):
+        events = [e for e in feasible_trace_with_regret()
+                  if e["event"] != "run_start"]
+        report = attribute_misses(events)
+        assert report.workload_class == UNKNOWN
+
+    def test_partial_cost_coverage_classifies_unknown(self):
+        """One undocumented task poisons the reconstruction entirely.
+
+        A partial triple set could flip the verdict (the heavy tasks may
+        be exactly the ones missing costs), so the oracle must decline.
+        """
+        events = feasible_trace_with_regret()
+        events[2] = task(2, "arrived", t=0.0, deadline=20.0)  # cost dropped
+        report = attribute_misses(events)
+        assert report.workload_class == UNKNOWN
+        assert report.oracle is None
+
+
+class TestRegretBeyondForcedFloor:
+    def test_extra_misses_on_infeasible_workload_count_as_regret(self):
+        """Forced floor 1, but two misses: one of them was avoidable."""
+        events = infeasible_trace()
+        # Replace task 2's happy ending with an expiry: now 2 misses.
+        events = [e for e in events
+                  if not (e.get("task_id") == 2
+                          and e["transition"] in ("dispatched", "started",
+                                                  "finished"))]
+        events.append(task(2, "expired", t=50.0, deadline=50.0))
+        report = attribute_misses(events)
+        assert report.workload_class == INFEASIBLE
+        assert len(report.misses) == 2
+        assert report.regret_misses == len(report.misses) - \
+            report.oracle.forced_misses
+
+
+class TestRendering:
+    def test_feasible_render_mentions_regret(self):
+        text = render_attribution(
+            attribute_misses(feasible_trace_with_regret())
+        )
+        assert "provably feasible" in text
+        assert "regret" in text
+
+    def test_infeasible_render_mentions_forced_floor(self):
+        text = render_attribution(attribute_misses(infeasible_trace()))
+        assert "provably infeasible" in text
+        assert "forced" in text
+
+    def test_unknown_render_mentions_unknown(self):
+        text = render_attribution(
+            attribute_misses(legacy_trace_without_costs())
+        )
+        assert "workload oracle: unknown" in text
+
+
+class TestSimulatorEmitsOracleReadyTraces:
+    def test_sim_trace_resolves_an_oracle_verdict(self):
+        sink = MemorySink()
+        obs = Instrumentation(sink=sink)
+        tasks = [
+            make_task(i, processing_time=10.0, deadline=5_000.0)
+            for i in range(4)
+        ]
+        simulate(
+            RTSADS(UniformCommunicationModel(50.0)),
+            tasks,
+            num_workers=2,
+            instrumentation=obs,
+        )
+        arrived = [e for e in sink.of_kind("task")
+                   if e["transition"] == "arrived"]
+        assert len(arrived) == 4
+        assert all("cost" in e and "deadline" in e for e in arrived)
+        verdict = trace_oracle(sink.events, build_timelines(sink.events))
+        assert verdict is not None
+        assert verdict.verdict == FEASIBLE
+        report = attribute_misses(sink.events)
+        assert report.workload_class == FEASIBLE
+        assert report.regret_misses == 0

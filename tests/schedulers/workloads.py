@@ -1,0 +1,115 @@
+"""Seeded workload generators shared by the conformance + property suites.
+
+Every generator is a pure function of its ``seed``: the same seed always
+yields the same task list, so a failing parametrization reproduces from
+its test id alone.  Three load shapes cover the regimes the conformance
+properties care about:
+
+``uniform``
+    Arrivals spread over a horizon with mixed slack — the steady-state
+    regime where most tasks are schedulable but ordering matters.
+``bursty``
+    Everything arrives at t=0 (the paper's Section-5.1 shape): one giant
+    first batch stresses packing and candidate ordering.
+``tight``
+    Slack factors straddling 1.0, including some provably-impossible
+    tasks (``arrival + cost > deadline``) — the overload regime where
+    the schedulability oracle's verdicts become non-trivial.
+
+The admission-policy property tests (`tests/service/`) reuse these via
+:func:`triples`, which projects tasks to the ``(arrival, cost,
+deadline)`` tuples the demand-bound math consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Tuple
+
+from repro.core import Task, make_task
+
+
+def uniform_workload(
+    seed: int, num_tasks: int = 24, num_processors: int = 4
+) -> List[Task]:
+    """Arrivals over a horizon, slack 1.5x-6x: mostly feasible."""
+    rng = random.Random(0xA11CE ^ seed)
+    tasks = []
+    for task_id in range(num_tasks):
+        processing = rng.uniform(5.0, 40.0)
+        arrival = rng.uniform(0.0, 120.0)
+        slack = rng.uniform(1.5, 6.0)
+        tasks.append(
+            make_task(
+                task_id,
+                processing_time=processing,
+                arrival_time=arrival,
+                deadline=arrival + processing * slack,
+                affinity=_affinity(rng, num_processors),
+            )
+        )
+    return tasks
+
+
+def bursty_workload(
+    seed: int, num_tasks: int = 24, num_processors: int = 4
+) -> List[Task]:
+    """One batch at t=0, moderate slack: the paper's arrival shape."""
+    rng = random.Random(0xB0B ^ seed)
+    tasks = []
+    for task_id in range(num_tasks):
+        processing = rng.uniform(5.0, 30.0)
+        slack = rng.uniform(2.0, 8.0)
+        tasks.append(
+            make_task(
+                task_id,
+                processing_time=processing,
+                deadline=processing * slack,
+                affinity=_affinity(rng, num_processors),
+            )
+        )
+    return tasks
+
+
+def tight_workload(
+    seed: int, num_tasks: int = 24, num_processors: int = 4
+) -> List[Task]:
+    """Overload: slack straddles 1.0 and some tasks are impossible."""
+    rng = random.Random(0x7167 ^ seed)
+    tasks = []
+    for task_id in range(num_tasks):
+        processing = rng.uniform(10.0, 50.0)
+        arrival = rng.uniform(0.0, 40.0)
+        slack = rng.uniform(0.6, 1.8)
+        tasks.append(
+            make_task(
+                task_id,
+                processing_time=processing,
+                arrival_time=arrival,
+                deadline=arrival + processing * slack,
+                affinity=_affinity(rng, num_processors),
+            )
+        )
+    return tasks
+
+
+def _affinity(rng: random.Random, num_processors: int) -> List[int]:
+    """A nonempty random residency set (replication ~60%)."""
+    chosen = [p for p in range(num_processors) if rng.random() < 0.6]
+    return chosen or [rng.randrange(num_processors)]
+
+
+#: Name -> generator, the conformance suite's parametrization axis.
+WORKLOADS: Dict[str, Callable[..., List[Task]]] = {
+    "uniform": uniform_workload,
+    "bursty": bursty_workload,
+    "tight": tight_workload,
+}
+
+
+def triples(tasks: List[Task]) -> List[Tuple[float, float, float]]:
+    """Tasks as the ``(arrival, cost, deadline)`` tuples oracles consume."""
+    return [
+        (task.arrival_time, task.processing_time, task.deadline)
+        for task in tasks
+    ]

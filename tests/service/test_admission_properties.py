@@ -1,0 +1,199 @@
+"""Property-based tests of the EDF demand-bound admission gate.
+
+The :class:`SchedulabilityPolicy` is the service's only oracle-backed
+policy, so it carries the strongest promises; hypothesis drives them with
+the same seeded workload generators the scheduler conformance suite uses
+(`tests/schedulers/workloads.py`):
+
+* **soundness** — the set of tasks the policy has accepted *never*
+  violates the EDF demand bound: at every accepted deadline ``d``, work
+  due by ``d`` fits in ``workers * (d - now)`` processor-units;
+* **monotonicity in offered load** — piling more queued work onto the
+  state can never flip a rejection into an acceptance, and neither can
+  inflating the newcomer's cost;
+* **determinism** — same state, same decision (the service's cell
+  reproducibility depends on it).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.service.admission import (
+    EPSILON,
+    AdmissionState,
+    QueuedTask,
+    SchedulabilityPolicy,
+    build_policy,
+)
+
+from ..schedulers.workloads import WORKLOADS, triples
+
+SETTINGS = dict(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class _Submission:
+    """A task-shaped record with just what admission reads."""
+
+    def __init__(self, task_id: int, deadline: float) -> None:
+        self.task_id = task_id
+        self.deadline = deadline
+
+
+def demand_bound_holds(
+    accepted: list, workers: int, now: float = 0.0
+) -> bool:
+    """The EDF necessary condition over one accepted (cost, deadline) set."""
+    for _, deadline in accepted:
+        demand = sum(c for c, d in accepted if d <= deadline + EPSILON)
+        if demand > workers * (deadline - now) + EPSILON:
+            return False
+    return True
+
+
+@st.composite
+def admission_streams(draw):
+    """A seeded arrival stream from the shared conformance generators."""
+    shape = draw(st.sampled_from(sorted(WORKLOADS)))
+    seed = draw(st.integers(min_value=0, max_value=99_999))
+    workers = draw(st.integers(min_value=1, max_value=8))
+    num_tasks = draw(st.integers(min_value=1, max_value=24))
+    tasks = WORKLOADS[shape](seed, num_tasks=num_tasks, num_processors=workers)
+    # Admission sees arrivals in order but decides against a fixed "now";
+    # project to (cost, deadline) with deadlines kept absolute.
+    stream = [
+        (cost, deadline) for _, cost, deadline in sorted(triples(tasks))
+    ]
+    return workers, stream
+
+
+def replay(policy, workers, stream, now: float = 0.0):
+    """Feed a stream through the policy; returns the accepted set."""
+    accepted: list = []
+    for index, (cost, deadline) in enumerate(stream):
+        state = AdmissionState(
+            now=now,
+            workers=workers,
+            capacity_units=float("inf"),
+            pending=tuple(
+                QueuedTask(task_id=i, cost=c, deadline=d)
+                for i, (c, d) in enumerate(accepted)
+            ),
+        )
+        decision = policy.decide(_Submission(index, deadline), cost, state)
+        if decision.accept:
+            accepted.append((cost, deadline))
+    return accepted
+
+
+class TestNeverOverAdmits:
+    @given(data=admission_streams())
+    @settings(**SETTINGS)
+    def test_accepted_set_always_satisfies_demand_bound(self, data):
+        workers, stream = data
+        accepted = replay(SchedulabilityPolicy(), workers, stream)
+        assert demand_bound_holds(accepted, workers), (
+            f"policy admitted a demand-bound-violating set with "
+            f"{workers} workers: {accepted}"
+        )
+
+    @given(data=admission_streams())
+    @settings(**SETTINGS)
+    def test_impossible_newcomer_is_always_refused(self, data):
+        """cost > workers * horizon can never be admitted."""
+        workers, stream = data
+        policy = SchedulabilityPolicy()
+        accepted = replay(policy, workers, stream)
+        state = AdmissionState(
+            now=0.0,
+            workers=workers,
+            capacity_units=float("inf"),
+            pending=tuple(
+                QueuedTask(task_id=i, cost=c, deadline=d)
+                for i, (c, d) in enumerate(accepted)
+            ),
+        )
+        horizon = 10.0
+        doomed_cost = workers * horizon + 1.0
+        decision = policy.decide(
+            _Submission(10_000, horizon), doomed_cost, state
+        )
+        assert not decision.accept
+
+
+class TestMonotoneInOfferedLoad:
+    @given(
+        data=admission_streams(),
+        extra_cost=st.floats(min_value=0.5, max_value=50.0),
+        extra_deadline=st.floats(min_value=1.0, max_value=300.0),
+        probe_cost=st.floats(min_value=0.5, max_value=100.0),
+        probe_deadline=st.floats(min_value=0.5, max_value=300.0),
+    )
+    @settings(**SETTINGS)
+    def test_more_queued_work_never_flips_reject_to_accept(
+        self, data, extra_cost, extra_deadline, probe_cost, probe_deadline
+    ):
+        workers, stream = data
+        policy = SchedulabilityPolicy()
+        accepted = replay(policy, workers, stream)
+        pending = tuple(
+            QueuedTask(task_id=i, cost=c, deadline=d)
+            for i, (c, d) in enumerate(accepted)
+        )
+        lighter = AdmissionState(
+            now=0.0, workers=workers, capacity_units=float("inf"),
+            pending=pending,
+        )
+        heavier = AdmissionState(
+            now=0.0, workers=workers, capacity_units=float("inf"),
+            pending=pending + (
+                QueuedTask(
+                    task_id=90_000, cost=extra_cost, deadline=extra_deadline
+                ),
+            ),
+        )
+        probe = _Submission(90_001, probe_deadline)
+        if not policy.decide(probe, probe_cost, lighter).accept:
+            assert not policy.decide(probe, probe_cost, heavier).accept, (
+                "adding queued work flipped a rejection into an acceptance"
+            )
+
+    @given(
+        data=admission_streams(),
+        probe_cost=st.floats(min_value=0.5, max_value=100.0),
+        probe_deadline=st.floats(min_value=0.5, max_value=300.0),
+        inflation=st.floats(min_value=1.0, max_value=10.0),
+    )
+    @settings(**SETTINGS)
+    def test_costlier_newcomer_never_flips_reject_to_accept(
+        self, data, probe_cost, probe_deadline, inflation
+    ):
+        workers, stream = data
+        policy = SchedulabilityPolicy()
+        accepted = replay(policy, workers, stream)
+        state = AdmissionState(
+            now=0.0, workers=workers, capacity_units=float("inf"),
+            pending=tuple(
+                QueuedTask(task_id=i, cost=c, deadline=d)
+                for i, (c, d) in enumerate(accepted)
+            ),
+        )
+        probe = _Submission(90_001, probe_deadline)
+        if not policy.decide(probe, probe_cost, state).accept:
+            assert not policy.decide(
+                probe, probe_cost * inflation, state
+            ).accept
+
+
+class TestDeterminismAndRegistry:
+    @given(data=admission_streams())
+    @settings(**SETTINGS)
+    def test_same_stream_same_decisions(self, data):
+        workers, stream = data
+        first = replay(SchedulabilityPolicy(), workers, stream)
+        second = replay(build_policy("schedulability"), workers, stream)
+        assert first == second
