@@ -7,6 +7,7 @@ numbers into regret analyses.  See :mod:`repro.analysis.schedulability`.
 
 from .schedulability import (
     EPSILON,
+    EXACT_TASK_LIMIT,
     FEASIBLE,
     INFEASIBLE,
     UNKNOWN,
@@ -14,12 +15,14 @@ from .schedulability import (
     SchedulabilityVerdict,
     analyze_tasks,
     analyze_triples,
+    exact_feasibility,
     regret_section,
     unknown_regret_section,
 )
 
 __all__ = [
     "EPSILON",
+    "EXACT_TASK_LIMIT",
     "FEASIBLE",
     "INFEASIBLE",
     "UNKNOWN",
@@ -27,6 +30,7 @@ __all__ = [
     "SchedulabilityVerdict",
     "analyze_tasks",
     "analyze_triples",
+    "exact_feasibility",
     "regret_section",
     "unknown_regret_section",
 ]

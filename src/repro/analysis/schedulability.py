@@ -18,8 +18,15 @@ spirit of Bonifaci & Marchetti-Spaccamela, arXiv:1004.2033):
   communication cost; if the witness meets every deadline the workload
   is provably feasible (the witness *is* a schedule).
 
-Workloads passing neither test are ``unknown`` — non-preemptive
-multiprocessor feasibility is NP-hard, so a gap is unavoidable.
+* an **exact** decision for small instances — when the two bounds
+  disagree and the workload has at most :data:`EXACT_TASK_LIMIT` tasks,
+  :func:`exact_feasibility` settles the question by branch and bound
+  over dispatch orders (every non-preemptive schedule is represented by
+  some order with earliest-free-machine placement), so tiny workloads
+  never land in the ``unknown`` band unless the node budget runs out.
+
+Workloads passing none of the tests are ``unknown`` — non-preemptive
+multiprocessor feasibility is NP-hard, so a gap is unavoidable at scale.
 
 The oracle deliberately idealizes: zero communication, no scheduling
 overhead, full clairvoyance.  Its ``hits_upper_bound`` therefore
@@ -154,6 +161,93 @@ def _witness_hits(
     return hits
 
 
+#: Largest instance the exact branch-and-bound test attempts.
+EXACT_TASK_LIMIT = 12
+
+#: Search-node budget before :func:`exact_feasibility` gives up (None).
+EXACT_NODE_LIMIT = 200_000
+
+
+class _NodeBudgetExhausted(Exception):
+    """Internal: the branch-and-bound hit its node limit."""
+
+
+def exact_feasibility(
+    tasks: Sequence[Tuple[float, float, float]],
+    workers: int,
+    node_limit: int = EXACT_NODE_LIMIT,
+) -> "bool | None":
+    """Exact non-preemptive feasibility on ``m`` identical machines.
+
+    Branch and bound over *dispatch orders*: any non-preemptive schedule
+    can be normalized, without changing which deadlines are met, into
+    one where tasks are started in some fixed order and the i-th started
+    task takes the earliest-free machine (start ``max(f_min, a_i)``) —
+    later-free machines only shrink the availability vector, and
+    deliberate idling is expressed by sequencing the waited-for task
+    earlier.  Searching all orders with that placement rule is therefore
+    complete.
+
+    Pruning: a prefix dies as soon as *any* remaining task can no longer
+    meet its deadline even if dispatched immediately (machine free times
+    are non-decreasing along a branch); identical remaining triples
+    branch once; visited ``(remaining, free-times)`` states memoize.
+
+    Returns True when a schedule meeting every deadline exists, False
+    when provably none does, None when ``node_limit`` ran out — the
+    caller keeps its ``unknown``.  Exponential in the worst case: callers
+    gate on :data:`EXACT_TASK_LIMIT`.
+    """
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    ordered = sorted(tasks, key=lambda t: (t[2], t[0], t[1]))
+    n = len(ordered)
+    if n == 0:
+        return True
+    if workers >= n:
+        # One machine per task: start each at its arrival.
+        return all(a + p <= d + EPSILON for a, p, d in ordered)
+    seen = set()
+    nodes = 0
+
+    def dfs(remaining: int, frees: Tuple[float, ...]) -> bool:
+        nonlocal nodes
+        if remaining == 0:
+            return True
+        nodes += 1
+        if nodes > node_limit:
+            raise _NodeBudgetExhausted
+        key = (remaining, frees)
+        if key in seen:
+            return False
+        seen.add(key)
+        f_min = frees[0]
+        for index in range(n):
+            if remaining >> index & 1:
+                a, p, d = ordered[index]
+                if max(f_min, a) + p > d + EPSILON:
+                    return False  # free times only grow: hopeless
+        tried = set()
+        for index in range(n):  # EDF-first branch order
+            if not (remaining >> index & 1):
+                continue
+            triple = ordered[index]
+            if triple in tried:
+                continue  # identical task: identical subtree
+            tried.add(triple)
+            a, p, _ = triple
+            start = max(f_min, a)
+            successor = tuple(sorted(frees[1:] + (round(start + p, 9),)))
+            if dfs(remaining & ~(1 << index), successor):
+                return True
+        return False
+
+    try:
+        return dfs((1 << n) - 1, (0.0,) * workers)
+    except _NodeBudgetExhausted:
+        return None
+
+
 @lru_cache(maxsize=64)
 def _analyze(
     tasks: Tuple[Tuple[float, float, float], ...], workers: int
@@ -175,6 +269,16 @@ def _analyze(
         verdict = FEASIBLE
     else:
         verdict = UNKNOWN
+    if verdict == UNKNOWN and total <= EXACT_TASK_LIMIT:
+        # Both bounds were silent and the instance is small: settle it.
+        # (forced == 0 here implies impossible == 0, so possible == tasks.)
+        exact = exact_feasibility(possible, workers)
+        if exact is True:
+            verdict = FEASIBLE
+        elif exact is False:
+            # Provably at least one miss in any non-preemptive schedule.
+            verdict = INFEASIBLE
+            forced = 1
     return SchedulabilityVerdict(
         verdict=verdict,
         total_tasks=total,

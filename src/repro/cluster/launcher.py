@@ -31,8 +31,19 @@ def launch_cluster(
     config: ClusterConfig,
     instrumentation: Optional[Instrumentation] = None,
 ) -> ClusterReport:
-    """Run one live experiment end to end; always reaps the workers."""
+    """Run one live experiment end to end; always reaps the workers.
+
+    A multi-domain experiment (``experiment.domains > 1``) is the sharded
+    coordinator's job: one master per domain, workers spawned against
+    their domain's hub, migrations negotiated over v4 frames.
+    """
     obs = instrumentation or get_instrumentation()
+    if config.experiment.domains > 1:
+        # Imported lazily: the sharding coordinator imports this module
+        # for spawn_worker/reap_workers.
+        from ..sharding.cluster import launch_sharded_cluster
+
+        return launch_sharded_cluster(config, instrumentation=obs)
     master = ClusterMaster(config, instrumentation=obs)
     # The master bound its listener in the constructor; give workers the
     # real port (the config may have asked for an ephemeral one).

@@ -34,10 +34,10 @@ the normal feasibility path — the live analogue of ``extension_failures``.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..core.affinity import UniformCommunicationModel
+from ..core.affinity import UniformCommunicationModel, project_tasks
 from ..core.task import Task
 from ..experiments.runner import build_scheduler
 from ..metrics.compliance import STATUS_COMPLETED, STATUS_EXPIRED
@@ -126,22 +126,13 @@ def remap_tasks(
     """Project task affinities onto the alive-worker index space.
 
     The search scheduler addresses processors ``0..m-1``; with dead workers
-    the master schedules over the survivors only, so affinities referring
-    to real worker ids are translated to positions in ``alive``.  Affinity
-    to a dead worker simply drops out (the data's surviving replicas keep
-    their entries; a fully-dead affinity set degrades to all-remote).
+    (or a domain owning only a slice of the fleet) the master schedules
+    over its own workers only, so affinities referring to real worker ids
+    are translated to positions in ``alive``.  Affinity to an absent
+    worker simply drops out (the data's surviving replicas keep their
+    entries; a fully-absent affinity set degrades to all-remote).
     """
-    index_of = {worker_id: index for index, worker_id in enumerate(alive)}
-    remapped: List[Task] = []
-    for task in tasks:
-        mapped = frozenset(
-            index_of[p] for p in task.affinity if p in index_of
-        )
-        if mapped == task.affinity:
-            remapped.append(task)
-        else:
-            remapped.append(replace(task, affinity=mapped))
-    return remapped
+    return project_tasks(tasks, alive)
 
 
 class ClusterMaster(PhaseHooks):
@@ -183,6 +174,9 @@ class ClusterMaster(PhaseHooks):
         # telemetry can merge onto the master's timeline.
         self.clock = ClockOffsetEstimator()
         self.guaranteed_violations = 0
+        # Telemetry events each worker's bounded buffer had to drop
+        # (worker_id -> count), folded into the run_end trace header.
+        self.telemetry_dropped: Dict[int, int] = {}
         # Per-phase scratch set by loads() and consumed by deliver_entry():
         # the alive-worker index space and the accumulating queue picture.
         self._phase_alive: List[int] = []
@@ -218,6 +212,15 @@ class ClusterMaster(PhaseHooks):
     def port(self) -> int:
         return self.hub.port
 
+    @property
+    def expected_workers(self) -> int:
+        """How many workers must register before the run starts.
+
+        The whole fleet by default; a domain master (sharded mode)
+        overrides this with the size of its own partition.
+        """
+        return self.config.num_workers
+
     def vnow(self) -> float:
         """Virtual time: wall seconds since readiness, in cost units."""
         if self._t0 is None:
@@ -241,29 +244,44 @@ class ClusterMaster(PhaseHooks):
                     workers=len(self.workers),
                     tasks=len(self.records),
                 )
-                # One "arrived" per task, mirroring the simulator's trace:
-                # deadline + worst-case cost make the trace self-contained
-                # for the offline schedulability oracle even for tasks that
-                # expire before any other transition.
-                for task_id in sorted(self.records):
-                    task = self.records[task_id].task
-                    self.obs.emit(
-                        "task",
-                        transition="arrived",
-                        task_id=task_id,
-                        t=task.arrival_time,
-                        deadline=task.deadline,
-                        cost=task.processing_time,
-                    )
+                self._emit_arrivals()
             self._loop()
         finally:
-            try:
-                self.hub.broadcast(protocol.shutdown())
-                self._drain_shutdown()
-            except OSError:
-                pass
-            self.close()
+            self.shutdown()
         return self._build_report()
+
+    def _emit_arrivals(self) -> None:
+        """One "arrived" per task, mirroring the simulator's trace.
+
+        Deadline + worst-case cost make the trace self-contained for the
+        offline schedulability oracle even for tasks that expire before
+        any other transition.
+        """
+        for task_id in sorted(self.records):
+            task = self.records[task_id].task
+            self.obs.emit(
+                "task",
+                transition="arrived",
+                task_id=task_id,
+                t=task.arrival_time,
+                deadline=task.deadline,
+                cost=task.processing_time,
+            )
+
+    def shutdown(self) -> None:
+        """Broadcast SHUTDOWN, drain the last telemetry, close the hub.
+
+        Idempotent: the sharded coordinator calls it on the success path
+        and again from its ``finally`` cleanup.
+        """
+        if self.hub.closed:
+            return
+        try:
+            self.hub.broadcast(protocol.shutdown())
+            self._drain_shutdown()
+        except OSError:
+            pass
+        self.close()
 
     def close(self) -> None:
         self.hub.close()
@@ -297,11 +315,11 @@ class ClusterMaster(PhaseHooks):
         """Block until every worker said HELLO (or the startup timeout)."""
         config = self.config
         deadline = time.monotonic() + config.startup_timeout
-        while len(self.workers) < config.num_workers:
+        while len(self.workers) < self.expected_workers:
             if time.monotonic() > deadline:
                 raise ClusterStartupError(
-                    f"only {len(self.workers)}/{config.num_workers} workers "
-                    f"registered within {config.startup_timeout}s"
+                    f"only {len(self.workers)}/{self.expected_workers} "
+                    f"workers registered within {config.startup_timeout}s"
                 )
             for event in self.hub.poll(config.poll_interval):
                 # Routed through the full dispatcher: a fast worker's first
@@ -363,21 +381,28 @@ class ClusterMaster(PhaseHooks):
     # ----- main loop -------------------------------------------------------
 
     def _loop(self) -> None:
+        while not self.step():
+            pass
+
+    def step(self) -> bool:
+        """One iteration of the scheduling loop; True when the run is done.
+
+        Exposed so the sharded coordinator can round-robin several domain
+        masters through one thread; :meth:`run` just iterates it.
+        """
         config = self.config
-        while True:
-            for event in self.hub.poll(config.poll_interval):
-                self._handle_event(event)
-            now_wall = time.monotonic()
-            for worker_id in self.monitor.expired(now_wall):
-                self._worker_lost(worker_id, reason="missed heartbeats")
-            if now_wall - self._start_wall > config.max_wall_seconds:
-                raise ClusterTimeoutError(
-                    f"live run exceeded {config.max_wall_seconds}s; "
-                    "aborting and shutting the cluster down"
-                )
-            self._schedule_ready_work()
-            if self._finished():
-                return
+        for event in self.hub.poll(config.poll_interval):
+            self._handle_event(event)
+        now_wall = time.monotonic()
+        for worker_id in self.monitor.expired(now_wall):
+            self._worker_lost(worker_id, reason="missed heartbeats")
+        if now_wall - self._start_wall > config.max_wall_seconds:
+            raise ClusterTimeoutError(
+                f"live run exceeded {config.max_wall_seconds}s; "
+                "aborting and shutting the cluster down"
+            )
+        self._schedule_ready_work()
+        return self._finished()
 
     def _handle_event(self, event: NetworkEvent) -> None:
         if event.kind == CONNECT:
@@ -445,6 +470,21 @@ class ClusterMaster(PhaseHooks):
         worker_id = int(message["worker_id"])
         self.monitor.beat(worker_id, time.monotonic())
         self._observe_clock(worker_id, message.get("mono"))
+        # Account buffer overflow before the tracing gate: drop counts
+        # must survive into the run_end header even on untraced runs.
+        for event in message.get("events", ()):
+            if (
+                isinstance(event, dict)
+                and event.get("event") == "telemetry_dropped"
+            ):
+                dropped = event.get("dropped")
+                if isinstance(dropped, int) and dropped > 0:
+                    self.telemetry_dropped[worker_id] = (
+                        self.telemetry_dropped.get(worker_id, 0) + dropped
+                    )
+                    self.obs.metrics.counter(
+                        "cluster_telemetry_dropped"
+                    ).inc(dropped)
         if not self.obs.enabled:
             return
         spu = self.config.seconds_per_unit
@@ -717,7 +757,9 @@ class ClusterMaster(PhaseHooks):
             not state.outstanding for state in self.workers.values()
         )
 
-    def _build_report(self) -> RunReport:
+    def _build_report(self, emit: bool = True) -> RunReport:
+        """Aggregate this master's records; ``emit=False`` suppresses the
+        ``run_end`` event (the sharded coordinator emits one merged one)."""
         records = self.records.values()
         completed = [r for r in records if r.status == COMPLETED]
         hits = [r for r in completed if r.met_deadline]
@@ -731,7 +773,7 @@ class ClusterMaster(PhaseHooks):
             if self._start_wall is not None
             else 0.0
         )
-        if self.obs.enabled:
+        if emit and self.obs.enabled:
             self.obs.emit(
                 "run_end",
                 workers=self.config.num_workers,
@@ -739,11 +781,12 @@ class ClusterMaster(PhaseHooks):
                 deadline_hits=len(hits),
                 phases=len(self.driver.phases),
                 makespan=float(makespan),
+                telemetry_dropped=sum(self.telemetry_dropped.values()),
             )
         return RunReport(
             backend="cluster",
             scheduler_name=self.scheduler.name,
-            num_workers=self.config.num_workers,
+            num_workers=self.expected_workers,
             seed=self.config.experiment.base_seed,
             total_tasks=len(self.records),
             guaranteed=self.driver.guaranteed_count,

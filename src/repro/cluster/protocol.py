@@ -20,6 +20,9 @@ Message types
 ``ACCEPT``     master -> client: submission admitted (task id + deadline).
 ``REJECT``     master -> client: submission shed by the admission policy.
 ``RESULT``     master -> client: terminal outcome of an accepted submission.
+``MIGRATE_OFFER``    master -> master: hand off one unplaceable task.
+``MIGRATE_ACCEPT``   master -> master: the peer took ownership of the task.
+``MIGRATE_DECLINE``  master -> master: the peer cannot guarantee it either.
 
 Service mode (protocol v3)
 --------------------------
@@ -32,6 +35,20 @@ carries ``template_id`` so workers know which resident transaction body to
 execute for a minted task id.  Every ``SUBMIT`` receives exactly one
 ``ACCEPT`` or ``REJECT``, and every ``ACCEPT`` is followed by exactly one
 ``RESULT`` (statuses: ``completed``/``expired``/``shed``/``surrendered``).
+
+Sharded domains (protocol v4)
+-----------------------------
+With ``ExperimentConfig.domains > 1`` the launcher runs one master per
+scheduling domain.  When a domain's feasibility search cannot place a task
+locally, its master sends a ``MIGRATE_OFFER`` to the least-loaded peer
+domain carrying the full task description (id, arrival, worst-case cost,
+deadline, global affinity set).  The peer answers exactly one
+``MIGRATE_ACCEPT`` (it created a record and admitted the task to its own
+batch) or ``MIGRATE_DECLINE`` (its quick guarantee check failed too); an
+unanswered offer times out at the origin and counts as a decline the peer
+never voiced.  Offers are one-hop: an accepted task is never re-offered,
+and a declined task falls back to the origin's normal surrender/expiry
+path.
 
 Clock samples
 -------------
@@ -51,7 +68,8 @@ from typing import Dict, Iterable, List, Sequence
 #: Bump on any incompatible change to frame layout or message fields.
 #: v2: TELEMETRY messages; ``mono`` clock samples on HELLO and HEARTBEAT.
 #: v3: service-mode SUBMIT/ACCEPT/REJECT/RESULT; ``template_id`` on ASSIGN.
-PROTOCOL_VERSION = 3
+#: v4: inter-domain MIGRATE_OFFER/MIGRATE_ACCEPT/MIGRATE_DECLINE frames.
+PROTOCOL_VERSION = 4
 
 #: 4-byte big-endian unsigned payload length.
 HEADER = struct.Struct(">I")
@@ -75,6 +93,9 @@ SUBMIT = "SUBMIT"
 ACCEPT = "ACCEPT"
 REJECT = "REJECT"
 RESULT = "RESULT"
+MIGRATE_OFFER = "MIGRATE_OFFER"
+MIGRATE_ACCEPT = "MIGRATE_ACCEPT"
+MIGRATE_DECLINE = "MIGRATE_DECLINE"
 
 MESSAGE_TYPES = frozenset(
     {
@@ -89,6 +110,9 @@ MESSAGE_TYPES = frozenset(
         ACCEPT,
         REJECT,
         RESULT,
+        MIGRATE_OFFER,
+        MIGRATE_ACCEPT,
+        MIGRATE_DECLINE,
     }
 )
 
@@ -340,4 +364,61 @@ def result(
         "status": status,
         "met_deadline": met_deadline,
         "finished_at": finished_at,
+    }
+
+
+def migrate_offer(
+    offer_id: int,
+    origin_domain: int,
+    task_id: int,
+    arrival: float,
+    processing: float,
+    deadline: float,
+    affinity: Iterable[int],
+    mono: float = 0.0,
+) -> Dict[str, object]:
+    """Offer one unplaceable task to a peer domain's master.
+
+    Carries the complete task description so the peer can reconstruct the
+    :class:`~repro.core.task.Task` and run the quick guarantee check
+    without any shared state; ``affinity`` is the *global* processor-id
+    set (every master speaks global ids on the wire — only the searches
+    think in local slots).  ``offer_id`` is origin-scoped and echoed on
+    the reply so late answers still resolve.
+    """
+    return {
+        "type": MIGRATE_OFFER,
+        "offer_id": offer_id,
+        "origin_domain": origin_domain,
+        "task_id": task_id,
+        "arrival": arrival,
+        "processing": processing,
+        "deadline": deadline,
+        "affinity": sorted(affinity),
+        "mono": mono,
+    }
+
+
+def migrate_accept(
+    offer_id: int, task_id: int, target_domain: int
+) -> Dict[str, object]:
+    """The peer took ownership: it admitted the task to its own batch."""
+    return {
+        "type": MIGRATE_ACCEPT,
+        "offer_id": offer_id,
+        "task_id": task_id,
+        "target_domain": target_domain,
+    }
+
+
+def migrate_decline(
+    offer_id: int, task_id: int, target_domain: int, reason: str = "infeasible"
+) -> Dict[str, object]:
+    """The peer's quick guarantee check failed; the task stays put."""
+    return {
+        "type": MIGRATE_DECLINE,
+        "offer_id": offer_id,
+        "task_id": task_id,
+        "target_domain": target_domain,
+        "reason": reason,
     }

@@ -57,9 +57,13 @@ class TelemetryBuffer(TraceSink):
 
         The first drain after any drop prepends one ``telemetry_dropped``
         marker event so the merged trace records the loss instead of
-        silently thinning.
+        silently thinning.  The marker is bookkeeping, not payload: it
+        rides on top of ``max_events`` rather than displacing a real
+        event (otherwise every drop would also silently shrink the batch
+        that reports it).
         """
         batch: List[Dict[str, object]] = []
+        limit = max_events
         if self.events_dropped:
             batch.append(
                 {
@@ -69,7 +73,8 @@ class TelemetryBuffer(TraceSink):
                 }
             )
             self.events_dropped = 0
-        while self._events and len(batch) < max_events:
+            limit += 1
+        while self._events and len(batch) < limit:
             batch.append(self._events.popleft())
         return batch
 

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Iterable
+from dataclasses import replace
+from typing import Iterable, Sequence
 
 from .task import Task
 
@@ -138,6 +139,30 @@ def random_affinity(
     if not members:
         members = [rng.randrange(num_processors)]
     return frozenset(members)
+
+
+def project_tasks(
+    tasks: Iterable[Task], workers: Sequence[int]
+) -> list[Task]:
+    """Re-express global affinities against an ordered worker subset.
+
+    ``workers`` lists global worker ids in slot order; each task's
+    affinity is rewritten to the *positions* of its affine workers within
+    that list.  Workers missing from the list simply drop out of the
+    affinity set (their data is unreachable from this view), which is
+    exactly the cluster master's alive-set remap and the sharded
+    runtime's domain projection — both are the same renaming.
+    """
+    positions = {worker: slot for slot, worker in enumerate(workers)}
+    projected = []
+    for task in tasks:
+        local = frozenset(
+            positions[w] for w in task.affinity if w in positions
+        )
+        projected.append(
+            task if local == task.affinity else replace(task, affinity=local)
+        )
+    return projected
 
 
 def affinity_degree(tasks: Iterable[Task], num_processors: int) -> float:

@@ -32,6 +32,7 @@ from .figures import (
     figure6,
     laxity_sweep,
     overhead_table,
+    shard_curve,
 )
 from .runner import (
     SCHEDULER_NAMES,
@@ -88,4 +89,5 @@ __all__ = [
     "overhead_table",
     "run_cell",
     "run_once",
+    "shard_curve",
 ]

@@ -7,6 +7,7 @@ Examples::
     python -m repro.experiments laxity --quick --runs 2
     python -m repro.experiments overhead --quick
     python -m repro.experiments ablate-quantum --quick
+    python -m repro.experiments shard-curve --runs 1 --export shard.json
     python -m repro.experiments all --quick
 
 Parallel sweeps (see EXPERIMENTS.md "Parallel sweeps" appendix)::
@@ -42,6 +43,7 @@ from ..observability import (
     StructuredLogger,
     instrumented,
 )
+from ..core.domains import PARTITION_POLICIES
 from ..core.registry import SCHEDULER_NAMES
 from ..runtime import BACKEND_NAMES
 from .config import ExperimentConfig
@@ -63,6 +65,7 @@ from .figures import (
     figure6,
     laxity_sweep,
     overhead_table,
+    shard_curve,
 )
 
 EXPERIMENTS = (
@@ -89,6 +92,22 @@ CLUSTER_COMMAND = "cluster"
 #: name, excluded from "all" for the same reason as 'cluster'.
 SERVICE_CURVE_COMMAND = "service-curve"
 
+#: Pure simulation, but runs at its own pressure scale (heavier search
+#: cost than the shared --quick config), so it is a standalone command
+#: rather than part of "all".
+SHARD_CURVE_COMMAND = "shard-curve"
+
+
+def _parse_domains(spec: str) -> tuple:
+    """Parse ``--domains``: one count (``4``) or a comma list (``1,2,4``)."""
+    try:
+        values = tuple(int(part) for part in spec.split(","))
+    except ValueError:
+        raise ValueError(f"invalid --domains value {spec!r}") from None
+    if not values or any(value < 1 for value in values):
+        raise ValueError(f"invalid --domains value {spec!r}")
+    return values
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (kept separate so tests can drive it)."""
@@ -101,12 +120,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("all", CLUSTER_COMMAND, SERVICE_CURVE_COMMAND),
+        choices=EXPERIMENTS
+        + ("all", CLUSTER_COMMAND, SERVICE_CURVE_COMMAND, SHARD_CURVE_COMMAND),
         help=(
             "which experiment to run; 'cluster' runs the live master/worker "
             "system over localhost TCP instead of the simulator; "
             "'service-curve' sweeps compliance-under-load on the live "
-            "streaming service (see also: repro serve / repro load)"
+            "streaming service (see also: repro serve / repro load); "
+            "'shard-curve' sweeps compliance vs processors for each "
+            "scheduling-domain count"
         ),
     )
     scale = parser.add_mutually_exclusive_group()
@@ -152,6 +174,25 @@ def build_parser() -> argparse.ArgumentParser:
             "'service' (live streaming service under open-loop load)"
         ),
     )
+    sharding = parser.add_argument_group(
+        "scheduling domains",
+        "split the workers into k domains, one master each, with "
+        "inter-domain migration (see docs/ARCHITECTURE.md)",
+    )
+    sharding.add_argument(
+        "--domains",
+        metavar="K[,K...]",
+        help=(
+            "scheduling-domain count: a single k shards any experiment "
+            "(sim or cluster) into k masters; a comma list sets the "
+            "shard-curve series (default 1,2,4)"
+        ),
+    )
+    sharding.add_argument(
+        "--partition-policy",
+        choices=PARTITION_POLICIES,
+        help="how workers are assigned to domains (default hash)",
+    )
     sweeps = parser.add_argument_group(
         "parallel sweeps",
         "fan cells over worker processes and cache finished cells "
@@ -194,7 +235,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help=(
             "also write the figure's data as JSON to PATH "
-            "(fig5, fig6, laxity only; byte-stable across --jobs/--resume)"
+            "(fig5, fig6, laxity, shard-curve only; byte-stable across "
+            "--jobs/--resume)"
         ),
     )
     verbosity = parser.add_mutually_exclusive_group()
@@ -335,6 +377,16 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["backend"] = args.backend
     if args.scheduler is not None:
         overrides["scheduler"] = args.scheduler
+    if getattr(args, "domains", None) is not None:
+        values = _parse_domains(args.domains)
+        if len(values) == 1:
+            overrides["domains"] = values[0]
+        elif args.experiment != SHARD_CURVE_COMMAND:
+            raise SystemExit(
+                "--domains accepts a comma list only with shard-curve"
+            )
+    if getattr(args, "partition_policy", None) is not None:
+        overrides["partition_policy"] = args.partition_policy
     return replace(config, **overrides) if overrides else config
 
 
@@ -354,16 +406,21 @@ EXPERIMENT_BUILDERS = {
     "write-mix": extension_write_mix,
     "failures": extension_failures,
     SERVICE_CURVE_COMMAND: service_curve,
+    SHARD_CURVE_COMMAND: shard_curve,
 }
 
 
-def build_experiment(name: str, config: ExperimentConfig):
-    """Run one experiment by CLI name and return its result object."""
+def build_experiment(name: str, config: ExperimentConfig, **kwargs):
+    """Run one experiment by CLI name and return its result object.
+
+    ``kwargs`` pass through to the builder (only shard-curve uses any:
+    its ``domains`` series).
+    """
     try:
         builder = EXPERIMENT_BUILDERS[name]
     except KeyError:
         raise ValueError(f"unknown experiment {name!r}") from None
-    return builder(config)
+    return builder(config, **kwargs)
 
 
 def run_experiment(name: str, config: ExperimentConfig) -> str:
@@ -420,8 +477,8 @@ def export_figure_json(path: str, name: str, result) -> None:
             document["regret"] = regret
     else:
         raise ValueError(
-            f"experiment {name!r} has no figure data to export; "
-            "--export supports fig5, fig6, laxity, and service-curve"
+            f"experiment {name!r} has no figure data to export; --export "
+            "supports fig5, fig6, laxity, shard-curve, and service-curve"
         )
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
@@ -454,6 +511,28 @@ def cluster_config_from_args(
     if args.seed is None:
         presets["base_seed"] = 1
     return replace(config, **presets)
+
+
+def shard_config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    """The 'shard-curve' subcommand's :class:`ExperimentConfig`.
+
+    Starts from the shared :func:`config_from_args`, then applies the
+    curve's pressure presets where no override was given.  The figure
+    only separates domain counts when the single master is
+    search-latency-bound (many tasks per batch, expensive vertices), so
+    the defaults raise the per-vertex cost and the transaction count
+    well above the generic --quick scale; at --quick scale all domain
+    counts would sit on top of each other.
+    """
+    config = config_from_args(args)
+    presets = {}
+    if args.transactions is None:
+        presets["num_transactions"] = 500
+    # No CLI flag exposes the per-vertex cost; the shard curve is
+    # *about* search latency, so the pressure preset applies at both
+    # scales.
+    presets["per_vertex_cost"] = 0.1
+    return replace(config, **presets) if presets else config
 
 
 def run_cluster(args: argparse.Namespace) -> int:
@@ -531,18 +610,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == CLUSTER_COMMAND:
         return run_cluster(args)
     if args.export and args.experiment not in (
-        "fig5", "fig6", "laxity", SERVICE_CURVE_COMMAND
+        "fig5", "fig6", "laxity", SERVICE_CURVE_COMMAND, SHARD_CURVE_COMMAND
     ):
         parser.error(
-            "--export requires fig5, fig6, laxity, or service-curve"
+            "--export requires fig5, fig6, laxity, shard-curve, "
+            "or service-curve"
         )
-    config = config_from_args(args)
+    extra = {}
+    if args.experiment == SHARD_CURVE_COMMAND:
+        config = shard_config_from_args(args)
+        if args.domains is not None:
+            extra["domains"] = _parse_domains(args.domains)
+    else:
+        config = config_from_args(args)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
 
     def run_all() -> None:
         """Run and print every selected experiment, exporting if asked."""
         for name in names:
-            result = build_experiment(name, config)
+            result = build_experiment(name, config, **extra)
             print(result.render())
             print()
             if args.export:
@@ -557,7 +643,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             for name in names:
                 obs.logger.info("experiment start", experiment=name)
                 with obs.span("experiment", experiment=name):
-                    result = build_experiment(name, config)
+                    result = build_experiment(name, config, **extra)
                     print(result.render())
                 print()
                 if args.export:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Optional, Tuple
 
+from ..core.domains import PARTITION_POLICIES
 from ..service.admission import ADMISSION_POLICY_NAMES
 from ..workload.arrivals import ARRIVAL_NAMES
 
@@ -81,6 +82,17 @@ class ExperimentConfig:
     # separately from the default comparisons.
     scheduler: Optional[str] = None
 
+    # --- sharding (see src/repro/sharding/) ---
+    # Number of scheduling domains the worker set is partitioned into and
+    # the partitioning policy (a member of
+    # repro.core.domains.PARTITION_POLICIES).  domains=1 is the paper's
+    # single-master system; domains>1 dispatches through the sharded
+    # runtime (sim) or the multi-master launcher (cluster).  Ordinary
+    # cache fields, so shard-curve sweeps are content-addressed like any
+    # other axis.
+    domains: int = 1
+    partition_policy: str = "hash"
+
     # --- service mode (see src/repro/service/; ignored by sim/cluster) ---
     # Arrival-process name for the open-loop load generator (a key of
     # repro.workload.arrivals.ARRIVAL_NAMES), the offered load as a
@@ -125,6 +137,18 @@ class ExperimentConfig:
         if self.scheduler is not None and not self.scheduler:
             raise ValueError(
                 "scheduler must be None or a non-empty registry name"
+            )
+        if self.domains <= 0:
+            raise ValueError("domains must be positive")
+        if self.domains > self.num_processors:
+            raise ValueError(
+                f"cannot split {self.num_processors} processors into "
+                f"{self.domains} non-empty domains"
+            )
+        if self.partition_policy not in PARTITION_POLICIES:
+            raise ValueError(
+                f"partition_policy must be one of {PARTITION_POLICIES}, "
+                f"got {self.partition_policy!r}"
             )
         if self.arrival not in ARRIVAL_NAMES:
             raise ValueError(
@@ -206,6 +230,14 @@ class ExperimentConfig:
     def with_scheduler(self, scheduler: Optional[str]) -> "ExperimentConfig":
         """A copy pinned to one scheduler registry name (None unpins)."""
         return replace(self, scheduler=scheduler)
+
+    def with_domains(self, domains: int) -> "ExperimentConfig":
+        """A copy with ``domains`` replaced (shard-curve sweep axis)."""
+        return replace(self, domains=domains)
+
+    def with_partition_policy(self, policy: str) -> "ExperimentConfig":
+        """A copy with the domain-partitioning policy replaced."""
+        return replace(self, partition_policy=policy)
 
     def with_offered_load(self, offered_load: float) -> "ExperimentConfig":
         """A copy with ``offered_load`` replaced (load-curve sweep axis)."""

@@ -203,6 +203,97 @@ def figure6(
     )
 
 
+#: Shard-curve axes: the processor sweep extends past the paper's m=10
+#: into the regime where one master's serialized search latency flattens
+#: the compliance curve, and the domain counts compared against it.
+SHARD_PROCESSOR_SWEEP: Tuple[int, ...] = (4, 8, 16, 24)
+SHARD_DOMAIN_SWEEP: Tuple[int, ...] = (1, 2, 4)
+
+
+def shard_curve(
+    config: Optional[ExperimentConfig] = None,
+    processors: Sequence[int] = SHARD_PROCESSOR_SWEEP,
+    domains: Sequence[int] = SHARD_DOMAIN_SWEEP,
+    scheduler: str = "rtsads",
+) -> SweepResult:
+    """Compliance vs m with the fleet split into k scheduling domains.
+
+    One series per domain count, same scheduler everywhere: the figure
+    isolates the *scheduling architecture* (how many concurrent masters)
+    exactly the way Figure 5 isolates the algorithm.  The default config
+    raises the per-vertex cost and transaction count until the single
+    master's search latency dominates — its curve flattens and then
+    collapses as m grows (every extra worker lengthens each phase's
+    search, delaying every delivery), while k=4 domains keep scaling
+    because each master searches ~n/k tasks over m/k workers and the four
+    searches overlap on the shared clock, with inter-domain migration
+    patching the partition's load imbalances.
+    """
+    config = config or ExperimentConfig.quick(
+        num_transactions=500, per_vertex_cost=0.1
+    )
+    if config.scheduler is not None:
+        scheduler = config.scheduler
+    domains = sorted(set(int(k) for k in domains))
+    if max(domains) > min(processors):
+        raise ValueError(
+            f"domains={max(domains)} cannot partition the smallest "
+            f"machine in the sweep (m={min(processors)})"
+        )
+    figure = FigureData(
+        title=(
+            "Shard curve - Deadline compliance vs processors by domain "
+            f"count ({DISPLAY_NAMES.get(scheduler, scheduler)}, "
+            f"SF={config.slack_factor:g})"
+        ),
+        x_label="processors",
+        x_values=list(processors),
+        notes=[
+            "y values are mean deadline hit ratios (%) over "
+            f"{config.runs} runs",
+            f"partition policy: {config.partition_policy}",
+        ],
+    )
+    grid_configs = [
+        config.with_processors(m).with_domains(k)
+        for k in domains
+        for m in processors
+    ]
+    cells: Dict[Tuple[str, float], CellResult] = {}
+    if config.jobs > 1 or config.cache_dir:
+        specs = [(cell_config, scheduler) for cell_config in grid_configs]
+        grid = iter(run_grid(specs).cells)
+        for k in domains:
+            for m in processors:
+                cells[(f"domains={k}", m)] = next(grid)
+    else:
+        ordered = iter(grid_configs)
+        for k in domains:
+            for m in processors:
+                cells[(f"domains={k}", m)] = run_cell(next(ordered), scheduler)
+    for k in domains:
+        figure.add_series(
+            f"domains={k}",
+            [cells[(f"domains={k}", m)].mean_hit_percent for m in processors],
+        )
+    significance = []
+    if len(domains) >= 2 and config.runs >= 2:
+        low, high = f"domains={domains[0]}", f"domains={domains[-1]}"
+        for m in processors:
+            test = difference_of_means(
+                cells[(high, m)].hit_percents,
+                cells[(low, m)].hit_percents,
+                significance_level=config.significance_level,
+            )
+            verdict = "significant" if test.significant else "not significant"
+            significance.append(
+                f"processors={m}: {high} vs {low} mean diff "
+                f"{test.mean_difference:+.2f} pts, p={test.p_value:.4f} "
+                f"({verdict} at {config.significance_level})"
+            )
+    return SweepResult(figure=figure, cells=cells, significance=significance)
+
+
 @dataclass
 class LaxitySweepResult:
     """E3: one Figure-5-style sweep per slack factor."""

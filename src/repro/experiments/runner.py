@@ -123,8 +123,9 @@ def run_once(
 
 
 #: Backends whose workload :func:`build_workload` reconstructs exactly
-#: (the live cluster mirrors the simulator's generator, same seed).
-_ORACLE_BACKENDS = frozenset({"sim", "cluster"})
+#: (the live cluster and the sharded runtime mirror the simulator's
+#: generator, same seed — partitioning never changes the task set).
+_ORACLE_BACKENDS = frozenset({"sim", "cluster", "sharded"})
 
 
 def _regret_for(

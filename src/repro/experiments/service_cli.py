@@ -268,6 +268,11 @@ def build_load_parser() -> argparse.ArgumentParser:
         "--settle-grace", type=float, default=5.0,
         help="extra wall seconds to await straggler RESULTs (default 5)",
     )
+    parser.add_argument(
+        "--clients", type=int, default=1,
+        help="concurrent client connections; the stream is dealt "
+        "round-robin across them (default 1)",
+    )
     return parser
 
 
@@ -288,6 +293,7 @@ def load_main(argv: Optional[List[str]] = None) -> int:
         submissions=args.submissions,
         seed=args.load_seed,
         settle_grace_seconds=args.settle_grace,
+        clients=args.clients,
         **spec_overrides,
     )
     try:

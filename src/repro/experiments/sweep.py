@@ -61,7 +61,9 @@ from .config import ExperimentConfig
 #: their metrics contribution on --resume.
 #: v3: records carry the run's schedulability-oracle regret section, and
 #: the config grew a ``scheduler`` cache field.
-CACHE_SCHEMA_VERSION = 3
+#: v4: records carry the run's migration section, and the config grew
+#: ``domains`` / ``partition_policy`` cache fields.
+CACHE_SCHEMA_VERSION = 4
 
 #: The cache directory the CLI defaults to (relative to the working dir).
 DEFAULT_CACHE_DIR = "results/cache"

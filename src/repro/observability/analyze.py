@@ -40,6 +40,12 @@ the deadline on the table — while a miss on a provably-**infeasible**
 workload may have been forced by the workload no matter the scheduler.
 Traces that predate arrival enrichment classify as ``unknown``.
 
+Sharded traces additionally label each miss with the task's
+inter-domain migration path (``migrated`` transitions carrying
+``from_domain``/``to_domain``), so cross-domain misses stay attributable
+without adding a sixth cause: migration moves a task between masters, it
+never by itself explains a miss.
+
 The module is pure: functions take event lists (as returned by
 :func:`~repro.observability.sinks.read_jsonl`) and return dataclasses or
 rendered ASCII tables.  The ``repro trace`` CLI is a thin wrapper.
@@ -145,6 +151,24 @@ class TaskTimeline:
         """Absolute deadline, from whichever transition recorded it."""
         return self.field_value("deadline")
 
+    def migration_path(self) -> Optional[str]:
+        """Domain hops of completed migrations, e.g. ``"0->1"``.
+
+        Sharded runs emit a ``migrated`` transition per accepted
+        inter-domain handoff (offers that were declined or timed out do
+        not move the task and do not count).  None for unsharded traces.
+        """
+        path: List[str] = []
+        for event in self.transitions:
+            if event.get("transition") != "migrated":
+                continue
+            source = event.get("from_domain")
+            target = event.get("to_domain")
+            if not path:
+                path.append(str(source))
+            path.append(str(target))
+        return "->".join(path) if path else None
+
     def outcome(self) -> str:
         """Terminal outcome of the timeline (last terminal event wins)."""
         terminal = self.last("finished", "expired", "failed")
@@ -184,6 +208,11 @@ class MissAttribution:
     #: been forced by the workload itself, and ``unknown`` means the
     #: trace lacked the per-task data to decide.
     workload: str = UNKNOWN
+    #: Domain hops when the task was migrated between scheduling domains
+    #: before missing (``"0->1"``); None for unmigrated tasks.  This is
+    #: orthogonal to the cause — migration moves a task, it is never
+    #: itself one of the five causes.
+    migration: Optional[str] = None
 
     @property
     def is_regret(self) -> bool:
@@ -213,6 +242,11 @@ class AttributionReport:
     def by_phase(self) -> Counter:
         """Miss counts per dispatch phase; never-placed misses key None."""
         return Counter(miss.phase for miss in self.misses)
+
+    @property
+    def migrated_misses(self) -> int:
+        """Misses on tasks that crossed a scheduling-domain boundary."""
+        return sum(1 for miss in self.misses if miss.migration)
 
     @property
     def workload_class(self) -> str:
@@ -435,6 +469,7 @@ def attribute_misses(
                 ),
                 phase=phase,
                 workload=workload,
+                migration=timeline.migration_path(),
             )
         )
     return AttributionReport(
@@ -514,6 +549,11 @@ def render_attribution(report: AttributionReport) -> str:
     by_cause = report.by_cause
     lines.append(f"deadline misses: {total_misses} (100% attributed)")
     lines.append(_oracle_line(report, total_misses))
+    if report.migrated_misses:
+        lines.append(
+            f"cross-domain: {report.migrated_misses} of {total_misses} "
+            f"misses were on tasks migrated between scheduling domains"
+        )
     lines.extend(
         _table(
             ["cause", "misses", "share"],
@@ -544,22 +584,26 @@ def render_attribution(report: AttributionReport) -> str:
         )
     )
     lines.append("")
-    lines.extend(
-        _table(
-            ["task", "outcome", "cause", "workload", "deadline", "missed at"],
-            [
-                [
-                    miss.task_id,
-                    miss.outcome,
-                    miss.cause,
-                    "regret" if miss.is_regret else miss.workload,
-                    "-" if miss.deadline is None else f"{miss.deadline:.1f}",
-                    "-" if miss.miss_time is None else f"{miss.miss_time:.1f}",
-                ]
-                for miss in report.misses
-            ],
-        )
-    )
+    # The 'migrated' column only appears for sharded traces, so single-
+    # domain reports render exactly as they always have.
+    sharded = report.migrated_misses > 0
+    headers = ["task", "outcome", "cause", "workload", "deadline", "missed at"]
+    if sharded:
+        headers.append("migrated")
+    rows = []
+    for miss in report.misses:
+        row = [
+            miss.task_id,
+            miss.outcome,
+            miss.cause,
+            "regret" if miss.is_regret else miss.workload,
+            "-" if miss.deadline is None else f"{miss.deadline:.1f}",
+            "-" if miss.miss_time is None else f"{miss.miss_time:.1f}",
+        ]
+        if sharded:
+            row.append(miss.migration or "-")
+        rows.append(row)
+    lines.extend(_table(headers, rows))
     return "\n".join(lines)
 
 

@@ -25,6 +25,7 @@ _BUILTIN_MODULES = {
     "sim": "repro.runtime.sim",
     "cluster": "repro.runtime.live",
     "service": "repro.runtime.service",
+    "sharded": "repro.runtime.sharded",
 }
 
 #: The backends every installation has (CLI choices, config validation).

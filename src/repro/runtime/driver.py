@@ -200,6 +200,29 @@ class PhaseDriver:
         withdrawn.extend(self.batch.withdraw(wanted))
         return withdrawn
 
+    def requeue(self, tasks: Sequence[Task]) -> None:
+        """Return tasks to pending without touching failure accounting.
+
+        The migration path's "declined offer falls back to surrender" —
+        of the *decision*, not the guarantee: these tasks were never
+        guaranteed here (they are exactly the ones the local search could
+        not place), so unlike :meth:`surrender` nothing is revoked and no
+        reschedule is counted.  They re-enter the batch at the next phase
+        start like fresh arrivals.
+        """
+        self._pending.extend(tasks)
+
+    def waiting_tasks(self) -> List[Task]:
+        """Tasks admitted but not yet dispatched (batch + pending).
+
+        The migration candidate set: after a delivered phase these are
+        precisely the tasks the local feasibility search failed to place.
+        Returns copies of the references in deterministic id order; use
+        :meth:`withdraw` to actually remove one.
+        """
+        waiting = list(self.batch.tasks()) + list(self._pending)
+        return sorted(waiting, key=lambda t: t.task_id)
+
     def surrender(self, tasks: Sequence[Task]) -> int:
         """Failure remap: requeue tasks whose processor was lost.
 

@@ -55,6 +55,11 @@ class RunReport:
     #: experiment runner after the backend returns; empty means the
     #: oracle was not consulted.
     regret: Dict[str, object] = field(default_factory=dict)
+    #: Inter-domain migration accounting for sharded runs (see
+    #: :mod:`repro.sharding`): offer/accept/decline counts and per-domain
+    #: flows.  Empty for single-master runs — the key set is part of the
+    #: stable schema either way.
+    migration: Dict[str, object] = field(default_factory=dict)
     #: Backend artifacts outside the stable schema (never exported).
     extras: Dict[str, object] = field(
         default_factory=dict, repr=False, compare=False
@@ -221,6 +226,7 @@ class RunReport:
             "guarantee_ratio": self.guarantee_ratio,
             "num_phases": self.num_phases,
             "regret": dict(self.regret),
+            "migration": dict(self.migration),
             "phases": [asdict(phase) for phase in self.phases],
         }
 

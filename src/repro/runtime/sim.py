@@ -45,6 +45,19 @@ class SimBackend(ExecutionBackend):
         from ..experiments.runner import build_scheduler, build_workload
         from ..simulator.runtime import simulate
 
+        if getattr(config, "domains", 1) > 1:
+            # A multi-domain cell is the sharded runtime's job; delegating
+            # keeps `--backend sim --domains k` meaningful instead of
+            # silently ignoring the partition.
+            from .sharded import ShardedBackend
+
+            return ShardedBackend().run_once(
+                config, scheduler_name, seed,
+                evaluator=evaluator, quantum_policy=quantum_policy,
+                validate_phases=validate_phases,
+                instrumentation=instrumentation,
+            )
+
         comm = UniformCommunicationModel(remote_cost=config.remote_cost)
         _, tasks = build_workload(config, seed)
         scheduler = build_scheduler(

@@ -22,9 +22,10 @@ seeded shuffle, so a ``(spec, seed)`` pair replays the identical stream.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from ..cluster.config import build_cluster_workload
 from ..cluster.network import ConnectionLost
@@ -53,6 +54,11 @@ class LoadSpec:
     #: Extra wall seconds to wait for straggler RESULTs after the last
     #: submission (on top of the largest relative deadline).
     settle_grace_seconds: float = 5.0
+    #: Concurrent client connections.  The arrival stream is generated
+    #: once, then dealt round-robin across the clients, so the *union*
+    #: of what N clients offer is the same stream one client would have
+    #: offered — only the connection fan-in changes.
+    clients: int = 1
 
     def __post_init__(self) -> None:
         if self.arrival not in ARRIVAL_NAMES:
@@ -66,6 +72,8 @@ class LoadSpec:
             raise ValueError("submissions must be non-negative")
         if self.seconds_per_unit <= 0:
             raise ValueError("seconds_per_unit must be positive")
+        if self.clients < 1:
+            raise ValueError("clients must be at least 1")
 
 
 @dataclass
@@ -148,6 +156,11 @@ def run_load(
     Blocks for the stream's duration plus a settle window.  Never raises
     on a vanished service mid-run — the report's ``unsettled`` count says
     how much was abandoned, and the caller judges it.
+
+    With ``spec.clients > 1`` the same stream is dealt round-robin
+    across that many concurrent connections (one thread each, sharing
+    one start instant so absolute submission times are unchanged) and
+    the per-client tallies are summed into one report.
     """
     experiment = spec.experiment
     _, tasks, _ = build_cluster_workload(experiment, experiment.base_seed)
@@ -166,14 +179,71 @@ def run_load(
     max_laxity = max(
         (t.deadline - t.arrival_time for t in templates), default=0.0
     )
+    stream = list(zip(times, order))
+    started = time.monotonic()
+    if spec.clients == 1:
+        return _run_stream(host, port, spec, stream, started, max_laxity)
+    shares = [stream[i :: spec.clients] for i in range(spec.clients)]
+    reports: List[Optional[LoadReport]] = [None] * spec.clients
+    failures: List[BaseException] = []
+
+    def drive(index: int) -> None:
+        try:
+            reports[index] = _run_stream(
+                host, port, spec, shares[index], started, max_laxity
+            )
+        except BaseException as error:  # re-raised on the caller's thread
+            failures.append(error)
+
+    threads = [
+        threading.Thread(
+            target=drive, args=(index,), name=f"repro-load-{index}"
+        )
+        for index in range(spec.clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise failures[0]
+    merged = LoadReport(offered_load=spec.offered_load, arrival=spec.arrival)
+    for report in reports:
+        if report is None:
+            continue
+        merged.submitted += report.submitted
+        merged.accepted += report.accepted
+        merged.rejected += report.rejected
+        merged.completed += report.completed
+        merged.hits += report.hits
+        merged.expired += report.expired
+        merged.shed += report.shed
+        merged.surrendered += report.surrendered
+        merged.unsettled += report.unsettled
+        merged.wall_seconds = max(merged.wall_seconds, report.wall_seconds)
+        for reason, count in report.reject_reasons.items():
+            merged.reject_reasons[reason] = (
+                merged.reject_reasons.get(reason, 0) + count
+            )
+    return merged
+
+
+def _run_stream(
+    host: str,
+    port: int,
+    spec: LoadSpec,
+    stream: List[Tuple[float, int]],
+    started: float,
+    max_laxity: float,
+) -> LoadReport:
+    """One connection's share of the run: submit on the clock, then settle."""
     report = LoadReport(
         offered_load=spec.offered_load, arrival=spec.arrival
     )
     client = ServiceClient.connect(host, port)
-    started = time.monotonic()
     lost = False
     try:
-        for arrival_v, template_id in zip(times, order):
+        for arrival_v, template_id in stream:
             due = started + arrival_v * spec.seconds_per_unit
             while True:
                 now = time.monotonic()

@@ -65,13 +65,27 @@ class TestVerdicts:
         assert verdict.forced_misses == 2
         assert verdict.hits_upper_bound == 1
 
-    def test_gap_between_tests_is_unknown(self):
+    def test_exact_search_settles_the_small_gap(self):
         # The long task must start immediately to make its deadline, but
         # then the short late arrival is blocked; the demand bound cannot
         # see it (no single interval is overloaded) and the EDF witness
-        # cannot schedule it, so the oracle must decline to rule.
+        # cannot schedule it.  Small enough for the exact branch-and-
+        # bound, which proves no dispatch order works at all.
         triples = [(0.0, 5.0, 6.0), (1.0, 1.0, 2.0)]
         verdict = analyze_triples(triples, workers=1)
+        assert verdict.verdict == INFEASIBLE
+        assert verdict.forced_misses == 1
+        assert verdict.witness_hits < verdict.total_tasks
+
+    def test_gap_beyond_exact_limit_stays_unknown(self):
+        # The same undecidable-by-bounds pair, padded past
+        # EXACT_TASK_LIMIT with far-future independent tasks so the
+        # exact search is gated off: the oracle must decline to rule.
+        triples = [(0.0, 5.0, 6.0), (1.0, 1.0, 2.0)] + [
+            (100.0 + 3.0 * i, 1.0, 103.0 + 3.0 * i) for i in range(12)
+        ]
+        verdict = analyze_triples(triples, workers=1)
+        assert verdict.total_tasks > 12
         assert verdict.verdict == UNKNOWN
         assert verdict.forced_misses == 0
         assert verdict.witness_hits < verdict.total_tasks

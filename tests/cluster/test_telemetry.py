@@ -45,6 +45,24 @@ class TestBounding:
         # The loss is reported exactly once.
         assert buffer.drain(10) == []
 
+    def test_drop_marker_rides_on_top_of_max_events(self):
+        """The marker must not displace a payload event from the batch.
+
+        A drain capped at ``max_events`` returns up to that many *real*
+        events plus the marker — otherwise every drop would also delay
+        one live event per heartbeat, and a persistently full buffer
+        could starve payload delivery entirely.
+        """
+        buffer = TelemetryBuffer(cap=3)
+        for index in range(5):
+            buffer.emit({"event": "task", "task_id": index, "w_mono": 1.0})
+        batch = buffer.drain(3)
+        assert len(batch) == 4
+        assert batch[0]["event"] == "telemetry_dropped"
+        assert batch[0]["dropped"] == 2
+        assert [e["task_id"] for e in batch[1:]] == [2, 3, 4]
+        assert buffer.drain(3) == []
+
     def test_rejects_nonpositive_cap(self):
         with pytest.raises(ValueError):
             TelemetryBuffer(cap=0)

@@ -1,0 +1,216 @@
+"""Property and unit tests for scheduling-domain partitioning.
+
+The sharded runtime's correctness leans on three partition invariants —
+totality (every worker in exactly one domain), the size cap (workload-
+aware policies never starve a domain), and determinism (assignments are
+pure functions of their inputs, so they can sit inside cache digests).
+The property battery drives all three across every policy with
+hypothesis-generated workloads.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.domains import (
+    PARTITION_POLICIES,
+    DomainAssignment,
+    partition_workers,
+)
+from repro.core.task import Task
+
+
+def _task(task_id: int, affinity, processing: float = 10.0) -> Task:
+    return Task(
+        task_id=task_id,
+        processing_time=processing,
+        arrival_time=0.0,
+        deadline=1000.0,
+        affinity=frozenset(affinity),
+    )
+
+
+# One strategy for (m, k, workload): k never exceeds m, affinities stay
+# inside the worker id space, costs stay positive.
+_instances = st.integers(min_value=1, max_value=12).flatmap(
+    lambda m: st.tuples(
+        st.just(m),
+        st.integers(min_value=1, max_value=m),
+        st.lists(
+            st.tuples(
+                st.sets(
+                    st.integers(min_value=0, max_value=m - 1), max_size=4
+                ),
+                st.floats(
+                    min_value=0.1,
+                    max_value=100.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+            ),
+            max_size=12,
+        ),
+    )
+)
+
+
+def _build_tasks(spec) -> list:
+    return [
+        _task(index, affinity, processing)
+        for index, (affinity, processing) in enumerate(spec)
+    ]
+
+
+class TestPartitionProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(instance=_instances, policy=st.sampled_from(PARTITION_POLICIES))
+    def test_every_worker_in_exactly_one_domain(self, instance, policy):
+        m, k, spec = instance
+        assignment = partition_workers(m, k, policy, tasks=_build_tasks(spec))
+        placed = [w for members in assignment.domains for w in members]
+        assert sorted(placed) == list(range(m))
+        assert len(placed) == len(set(placed))
+        assert assignment.num_domains == k
+        assert all(assignment.workers_of(d) for d in range(k))
+
+    @settings(max_examples=120, deadline=None)
+    @given(instance=_instances, policy=st.sampled_from(PARTITION_POLICIES))
+    def test_packing_respects_the_size_cap(self, instance, policy):
+        """No domain exceeds ceil(m / k) workers under any policy."""
+        m, k, spec = instance
+        assignment = partition_workers(m, k, policy, tasks=_build_tasks(spec))
+        cap = math.ceil(m / k)
+        sizes = [len(members) for members in assignment.domains]
+        assert max(sizes) <= cap
+        # The hash baseline is additionally balanced to within one.
+        if policy == "hash":
+            assert max(sizes) - min(sizes) <= 1
+
+    @settings(max_examples=120, deadline=None)
+    @given(instance=_instances, policy=st.sampled_from(PARTITION_POLICIES))
+    def test_deterministic_per_input(self, instance, policy):
+        """Equal (m, k, workload) always yields the identical assignment."""
+        m, k, spec = instance
+        tasks = _build_tasks(spec)
+        first = partition_workers(m, k, policy, tasks=tasks)
+        second = partition_workers(m, k, policy, tasks=list(tasks))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    @settings(max_examples=60, deadline=None)
+    @given(instance=_instances, policy=st.sampled_from(PARTITION_POLICIES))
+    def test_route_targets_a_real_domain(self, instance, policy):
+        m, k, spec = instance
+        tasks = _build_tasks(spec)
+        assignment = partition_workers(m, k, policy, tasks=tasks)
+        for task in tasks:
+            assert 0 <= assignment.route(task) < k
+
+
+class TestWorstFit:
+    def test_heavy_workers_spread_across_domains(self):
+        # Two heavy attractors must not share a domain when two domains
+        # are available: worst-fit places heaviest-first on the lightest.
+        tasks = [
+            _task(0, {0}, processing=100.0),
+            _task(1, {1}, processing=90.0),
+            _task(2, {2}, processing=1.0),
+            _task(3, {3}, processing=1.0),
+        ]
+        assignment = partition_workers(4, 2, "worst-fit", tasks=tasks)
+        heavy_domains = {assignment.domain_of(0), assignment.domain_of(1)}
+        assert len(heavy_domains) == 2
+
+    def test_no_workload_degrades_to_balanced_split(self):
+        assignment = partition_workers(6, 3, "worst-fit", tasks=None)
+        assert sorted(len(g) for g in assignment.domains) == [2, 2, 2]
+
+
+class TestAffinity:
+    def test_co_occurring_workers_share_a_domain(self):
+        # Workers {0, 1} and {2, 3} each co-occur heavily; the clustering
+        # must keep both pairs whole so their tasks pay no remote cost.
+        tasks = [
+            _task(i, {0, 1}, processing=50.0) for i in range(4)
+        ] + [
+            _task(4 + i, {2, 3}, processing=50.0) for i in range(4)
+        ]
+        assignment = partition_workers(4, 2, "affinity", tasks=tasks)
+        assert assignment.domain_of(0) == assignment.domain_of(1)
+        assert assignment.domain_of(2) == assignment.domain_of(3)
+        assert assignment.domain_of(0) != assignment.domain_of(2)
+
+
+class TestRouting:
+    def test_affinity_plurality_wins(self):
+        assignment = DomainAssignment(
+            num_workers=4, policy="hash", domains=((0, 1), (2, 3))
+        )
+        task = _task(9, {1, 2, 3})
+        assert assignment.route(task) == 1
+
+    def test_plurality_tie_breaks_to_lowest_domain(self):
+        assignment = DomainAssignment(
+            num_workers=4, policy="hash", domains=((0, 1), (2, 3))
+        )
+        task = _task(9, {1, 3})
+        assert assignment.route(task) == 0
+
+    def test_empty_affinity_hashes_on_task_id(self):
+        assignment = DomainAssignment(
+            num_workers=4, policy="hash", domains=((0, 1), (2, 3))
+        )
+        assert assignment.route(_task(5, set())) == 1
+        assert assignment.route(_task(6, set())) == 0
+
+
+class TestAssignmentValidation:
+    def test_duplicate_worker_rejected(self):
+        with pytest.raises(ValueError, match="appears in domains"):
+            DomainAssignment(
+                num_workers=3, policy="hash", domains=((0, 1), (1, 2))
+            )
+
+    def test_missing_worker_rejected(self):
+        with pytest.raises(ValueError, match="not assigned"):
+            DomainAssignment(
+                num_workers=4, policy="hash", domains=((0, 1), (2,))
+            )
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            DomainAssignment(
+                num_workers=2, policy="hash", domains=((0, 1), ())
+            )
+
+    def test_unsorted_members_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            DomainAssignment(
+                num_workers=2, policy="hash", domains=((1, 0),)
+            )
+
+    def test_as_dict_is_plain_data(self):
+        assignment = partition_workers(4, 2, "hash")
+        view = assignment.as_dict()
+        assert view["num_workers"] == 4
+        assert view["policy"] == "hash"
+        assert view["domains"] == [[0, 2], [1, 3]]
+
+
+class TestPartitionGuards:
+    def test_more_domains_than_workers_rejected(self):
+        with pytest.raises(ValueError, match="cannot split"):
+            partition_workers(2, 3)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            partition_workers(4, 2, "round-robin")
+
+    @pytest.mark.parametrize("m,k", [(0, 1), (4, 0), (-1, 1)])
+    def test_nonpositive_counts_rejected(self, m, k):
+        with pytest.raises(ValueError):
+            partition_workers(m, k)

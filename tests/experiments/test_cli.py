@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.experiments.cli import build_parser, config_from_args, main
+from repro.experiments.cli import (
+    _parse_domains,
+    build_parser,
+    config_from_args,
+    main,
+    shard_config_from_args,
+)
 
 
 class TestParser:
@@ -43,6 +49,58 @@ class TestParser:
         assert config.num_processors == 4
         assert config.replication_rate == 0.6
         assert config.slack_factor == 2.0
+
+
+class TestShardingFlags:
+    def test_shard_curve_is_a_known_experiment(self):
+        args = build_parser().parse_args(["shard-curve"])
+        assert args.experiment == "shard-curve"
+
+    def test_single_domains_value_overrides_any_experiment(self):
+        args = build_parser().parse_args(["fig5", "--domains", "2"])
+        assert config_from_args(args).domains == 2
+
+    def test_partition_policy_reaches_the_config(self):
+        args = build_parser().parse_args(
+            ["fig5", "--domains", "2", "--partition-policy", "worst-fit"]
+        )
+        assert config_from_args(args).partition_policy == "worst-fit"
+
+    def test_unknown_partition_policy_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fig5", "--partition-policy", "random"]
+            )
+
+    def test_domain_list_reserved_for_shard_curve(self):
+        args = build_parser().parse_args(["fig5", "--domains", "1,2,4"])
+        with pytest.raises(SystemExit, match="shard-curve"):
+            config_from_args(args)
+
+    def test_domain_list_accepted_for_shard_curve(self):
+        args = build_parser().parse_args(
+            ["shard-curve", "--domains", "1,2,4"]
+        )
+        # The list is a sweep axis, not a config override.
+        assert config_from_args(args).domains == 1
+        assert _parse_domains(args.domains) == (1, 2, 4)
+
+    @pytest.mark.parametrize("bad", ["", "0", "two", "1,,2", "-1", "1,0"])
+    def test_malformed_domain_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            _parse_domains(bad)
+
+    def test_shard_config_applies_pressure_presets(self):
+        args = build_parser().parse_args(["shard-curve"])
+        config = shard_config_from_args(args)
+        assert config.num_transactions == 500
+        assert config.per_vertex_cost == pytest.approx(0.1)
+
+    def test_explicit_transactions_beat_the_preset(self):
+        args = build_parser().parse_args(
+            ["shard-curve", "--transactions", "60"]
+        )
+        assert shard_config_from_args(args).num_transactions == 60
 
 
 class TestMain:

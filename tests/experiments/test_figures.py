@@ -12,6 +12,7 @@ from repro.experiments import (
     figure6,
     laxity_sweep,
     overhead_table,
+    shard_curve,
 )
 
 TINY = ExperimentConfig.quick(num_transactions=40, runs=2, num_processors=4)
@@ -62,6 +63,34 @@ class TestLaxitySweep:
         tight = result.sweeps[1.0].figure.series[0].values[0]
         loose = result.sweeps[3.0].figure.series[0].values[0]
         assert loose >= tight
+
+
+class TestShardCurve:
+    def test_structure(self):
+        result = shard_curve(TINY, processors=(2, 4), domains=(1, 2))
+        assert result.figure.x_values == [2, 4]
+        labels = [s.label for s in result.figure.series]
+        assert labels == ["domains=1", "domains=2"]
+        assert ("domains=1", 2) in result.cells
+        assert ("domains=2", 4) in result.cells
+        assert any("partition policy" in note for note in result.figure.notes)
+        # runs >= 2 and two domain counts: the significance report exists.
+        assert len(result.significance) == 2
+
+    def test_render_mentions_the_architecture_axis(self):
+        result = shard_curve(TINY, processors=(2,), domains=(1, 2))
+        text = result.render()
+        assert "Shard curve" in text
+        assert "domains=2" in text
+
+    def test_domains_exceeding_smallest_machine_rejected(self):
+        with pytest.raises(ValueError, match="cannot partition"):
+            shard_curve(TINY, processors=(2, 8), domains=(1, 4))
+
+    def test_domain_counts_deduplicated_and_sorted(self):
+        result = shard_curve(TINY, processors=(2,), domains=(2, 1, 2))
+        labels = [s.label for s in result.figure.series]
+        assert labels == ["domains=1", "domains=2"]
 
 
 class TestOverhead:

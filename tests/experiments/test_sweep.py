@@ -89,6 +89,8 @@ class TestConfigDigest:
             "arrival": "poisson",
             "offered_load": 1.4,
             "admission_policy": "least-slack",
+            "domains": 2,
+            "partition_policy": "worst-fit",
         }
         cache_fields = set(base.cache_fields())
         assert cache_fields == set(bumped), (

@@ -16,7 +16,7 @@ from repro.runtime import (
 
 class TestRegistry:
     def test_builtins_resolve_lazily_by_name(self):
-        assert set(BACKEND_NAMES) == {"sim", "cluster", "service"}
+        assert set(BACKEND_NAMES) == {"sim", "cluster", "service", "sharded"}
         backend = get_backend("sim")
         assert isinstance(backend, ExecutionBackend)
         assert backend.name == "sim"

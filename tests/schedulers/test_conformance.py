@@ -198,3 +198,60 @@ def test_sim_cluster_agreement_smoke():
 def test_sim_cluster_agreement_matrix(scheduler_name):
     """The full cross-backend matrix (minutes of wall clock; CI's slow job)."""
     _assert_cluster_agrees(scheduler_name)
+
+
+def _sharded_cell() -> ExperimentConfig:
+    # Enough pressure that domains interact, small enough to stay fast.
+    return ExperimentConfig.quick(
+        num_transactions=40, runs=1, num_processors=4
+    ).with_domains(2)
+
+
+@pytest.mark.parametrize("scheduler_name", ALL_SCHEDULERS)
+class TestShardedConformance:
+    """Every registered scheduler must also conform on the sharded backend.
+
+    Sharding multiplies the scheduler, it must not change its contract:
+    the same accounting identities, the same report schema as the
+    single-master simulator, the oracle bound still unbeatable, the
+    migration ledger balanced, and the whole run deterministic.  Pure
+    simulation, so the full matrix runs in the fast tier.
+    """
+
+    def test_accounting_and_schema(self, scheduler_name):
+        config = _sharded_cell()
+        seed = config.base_seed
+        sim = run_once(config.with_domains(1), scheduler_name, seed)
+        sharded = run_once(config, scheduler_name, seed)
+        assert sharded.backend == "sharded"
+        assert sharded.total_tasks == sim.total_tasks
+        assert (
+            sharded.completed + sharded.expired + sharded.failed
+            == sharded.total_tasks
+        )
+        # No failures injected: guarantees run to completion exactly once,
+        # whether they were honoured locally or after a migration.
+        assert sharded.failed == 0
+        assert sharded.completed == sharded.guaranteed
+        assert sharded.guaranteed_violations == 0
+        assert sorted(sim.as_dict()) == sorted(sharded.as_dict())
+
+    def test_oracle_soundness_and_migration_ledger(self, scheduler_name):
+        config = _sharded_cell()
+        report = run_once(config, scheduler_name, config.base_seed)
+        assert report.deadline_hits <= report.regret["hits_upper_bound"]
+        section = report.migration
+        assert (
+            section["offers"]
+            == section["accepted"] + section["declined"] + section["timeouts"]
+        )
+        assert sum(section["out_by_domain"].values()) == section["offers"]
+        assert sum(section["in_by_domain"].values()) == section["accepted"]
+
+    def test_determinism(self, scheduler_name):
+        config = _sharded_cell()
+        first = run_once(config, scheduler_name, config.base_seed).as_dict()
+        second = run_once(config, scheduler_name, config.base_seed).as_dict()
+        first.pop("wall_seconds")
+        second.pop("wall_seconds")
+        assert first == second

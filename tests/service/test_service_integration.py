@@ -89,6 +89,36 @@ class TestServiceUnderLoad:
         # Fail-stop surrenders guarantees; it never violates them.
         assert report.guaranteed_violations == 0
 
+    def test_concurrent_clients_offer_one_shared_stream(
+        self, assert_no_leaked_children
+    ):
+        """--clients N deals the same stream over N connections: the
+        union of submissions is unchanged and both ledgers still agree."""
+        service = smoke_service(workers=2, tasks=24)
+        spec = LoadSpec(
+            experiment=service.cluster.experiment,
+            arrival="burst",
+            offered_load=1.0,
+            submissions=24,
+            seed=3,
+            seconds_per_unit=service.cluster.seconds_per_unit,
+            clients=3,
+        )
+        holder: dict = {}
+        report = run_service(service, drive_load=make_driver(spec, holder))
+        load = holder["report"]
+        assert load.submitted == 24
+        assert load.unsettled == 0
+        assert load.accepted + load.rejected == load.submitted
+        assert report.extras["submitted"] == load.submitted
+        assert report.extras["accepted"] == load.accepted
+
+    def test_nonpositive_clients_rejected(self):
+        with pytest.raises(ValueError, match="clients"):
+            LoadSpec(
+                experiment=ClusterConfig.smoke().experiment, clients=0
+            )
+
     def test_traced_run_fully_attributes_every_miss(
         self, tmp_path, assert_no_leaked_children
     ):
