@@ -10,8 +10,14 @@ every metric present in both, each numeric field (mean/p50/p95, speedup,
 vertices_per_quantum, ...) is shown with its absolute and relative change;
 metrics present only on one side are listed so coverage drift is visible.
 
-Exits non-zero on malformed input, zero otherwise — the tool reports, it
-does not judge; thresholds live in the benchmarks themselves.
+Tracked rates are gated: when a throughput metric (unit ``.../s``) or a
+``speedup`` field drops more than ``--threshold`` (default 20%) against
+the baseline, the offending metric is printed and the exit status is
+non-zero, so CI can diff a fresh run against the committed
+``results/BENCH_*.json`` and fail on real regressions.  ``--no-gate``
+restores report-only behaviour (e.g. for cross-scale comparisons).
+Absolute thresholds on single runs still live in the benchmarks
+themselves; this gate catches *drift* between snapshots.
 """
 
 from __future__ import annotations
@@ -23,6 +29,27 @@ from pathlib import Path
 
 #: Numeric per-metric fields worth diffing, in display order.
 FIELDS = ("mean", "p50", "p95", "min", "max", "speedup", "vertices_per_quantum")
+
+#: Relative drop in a tracked rate that fails the gate.
+DEFAULT_THRESHOLD = 0.20
+
+
+def tracked_fields(before: dict, after: dict) -> list:
+    """Gated (field, higher-is-better value pairs) for one metric.
+
+    A metric is tracked when it is a throughput (its unit ends in ``/s`` —
+    vertices/s, events/s, ...) or it carries a ``speedup`` field.  Latency
+    metrics (seconds per operation) are reported but not gated: their
+    polarity is inverted and the repo's latency bars live in the
+    benchmarks themselves.
+    """
+    unit = after.get("unit") or before.get("unit") or ""
+    fields = []
+    if unit.endswith("/s") and "mean" in before and "mean" in after:
+        fields.append(("mean", before["mean"], after["mean"]))
+    if "speedup" in before and "speedup" in after:
+        fields.append(("speedup", before["speedup"], after["speedup"]))
+    return fields
 
 
 def load(path: Path) -> dict:
@@ -46,6 +73,18 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("before", type=Path, help="baseline BENCH_*.json")
     parser.add_argument("after", type=Path, help="new BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative drop in a tracked rate that fails the gate "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="report deltas only; never fail on regressions",
+    )
     args = parser.parse_args(argv)
 
     before_doc, after_doc = load(args.before), load(args.after)
@@ -58,12 +97,19 @@ def main(argv=None) -> int:
 
     shared = sorted(set(before) & set(after))
     print(f"report: {after_doc.get('report', '?')}  ({len(shared)} shared metrics)")
+    regressions = []
     for name in shared:
         unit = after[name].get("unit") or before[name].get("unit") or ""
         print(f"\n{name}" + (f"  [{unit}]" if unit else ""))
         for field in FIELDS:
             if field in before[name] and field in after[name]:
                 print(f"  {field:>8}: {format_delta(before[name][field], after[name][field])}")
+        for field, was, now in tracked_fields(before[name], after[name]):
+            if was > 0 and now < was * (1.0 - args.threshold):
+                regressions.append(
+                    f"{name}.{field}: {format_delta(was, now)} "
+                    f"(gate: -{args.threshold:.0%})"
+                )
 
     for label, only in (
         ("only in before", sorted(set(before) - set(after))),
@@ -71,6 +117,13 @@ def main(argv=None) -> int:
     ):
         if only:
             print(f"\n{label}: {', '.join(only)}")
+
+    if regressions and not args.no_gate:
+        print(f"\nREGRESSION: {len(regressions)} tracked rate(s) fell "
+              f"more than {args.threshold:.0%}:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
     return 0
 
 

@@ -1,0 +1,194 @@
+"""Search-kernel registry: how one phase's candidate arithmetic executes.
+
+A *kernel* is an interchangeable implementation of the depth-first phase
+search (:func:`repro.core.search.run_search`): same tree, same candidates,
+same schedules — different machinery for evaluating them.  The registry
+mirrors the scheduler registry (:mod:`repro.core.registry`) and the backend
+registry (:mod:`repro.runtime.backend`): built-ins resolve lazily, third
+parties call :func:`register_kernel`, and every experiment, figure, backend,
+and CLI flag can name any registered kernel immediately.
+
+Two kernels ship with the repo:
+
+* ``scalar`` (default) — the zero-dependency hot path: the optimized
+  per-vertex expanders of :mod:`repro.core.representations` driven by
+  :func:`repro.core.search.run_search`.
+* ``vectorized`` — the batch kernel of :mod:`repro.core.vectorized`:
+  evaluates whole candidate frontiers as numpy arrays.  Requires the
+  optional ``fast`` extra (``pip install "repro[fast]"``); naming it on a
+  host without numpy raises a clean :class:`ImportError`.
+
+The alias ``auto`` resolves to ``vectorized`` when numpy is importable and
+falls back to ``scalar`` otherwise, so portable configs can opt into speed
+without a hard dependency.
+
+Every kernel is **bit-identical** by contract: identical schedules,
+identical search counters, identical budget consumption, identical
+tie-breaking (stable argmin over ``(value, generation order)``), proven by
+``tests/differential/test_kernel_differential.py`` and the golden fixtures.
+See ``docs/PERFORMANCE.md`` for the decision table and measured rates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Optional, Union
+
+from .search import SearchBudget, SearchOutcome, Expander, PhaseContext, run_search
+
+#: Kernel names every installation can *name* (CLI choices, config
+#: validation).  ``vectorized`` may still fail to resolve without numpy;
+#: ``auto`` never fails.
+KERNEL_NAMES = ("scalar", "vectorized", "auto")
+
+#: The kernel used when no explicit choice is made anywhere.
+DEFAULT_KERNEL = "scalar"
+
+#: Message raised when the vectorized kernel is requested without numpy.
+_NUMPY_HINT = (
+    "the 'vectorized' search kernel requires numpy, which is not "
+    "installed; install the optional extra with `pip install "
+    "\"repro[fast]\"` or select `kernel=\"scalar\"` (the default, "
+    "dependency-free kernel) / `kernel=\"auto\"` (falls back to scalar)"
+)
+
+
+class SearchKernel(ABC):
+    """One interchangeable implementation of the phase search.
+
+    ``search`` must honour the exact contract of
+    :func:`repro.core.search.run_search`: same expansion order, same
+    candidate set, same budget charging, same
+    :class:`~repro.core.search.SearchStats` counters, and byte-identical
+    tie-breaking — kernels trade machinery, never schedules.
+    """
+
+    #: Registry name, set by concrete kernels.
+    name: str = "kernel"
+
+    @abstractmethod
+    def search(
+        self,
+        ctx: PhaseContext,
+        expander: Expander,
+        budget: SearchBudget,
+        max_candidates: Optional[int] = None,
+        max_iterations: Optional[int] = None,
+    ) -> SearchOutcome:
+        """Run one phase's depth-first search and return its outcome."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Class plus registry name, for logs and error messages."""
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ScalarKernel(SearchKernel):
+    """The default kernel: the pure-Python optimized hot path.
+
+    A thin adapter over :func:`repro.core.search.run_search`, kept so the
+    scalar path and third-party kernels share one calling convention.
+    """
+
+    name = "scalar"
+
+    def search(
+        self,
+        ctx: PhaseContext,
+        expander: Expander,
+        budget: SearchBudget,
+        max_candidates: Optional[int] = None,
+        max_iterations: Optional[int] = None,
+    ) -> SearchOutcome:
+        """Delegate to :func:`repro.core.search.run_search` unchanged."""
+        return run_search(
+            ctx,
+            expander,
+            budget,
+            max_candidates=max_candidates,
+            max_iterations=max_iterations,
+        )
+
+
+_REGISTRY: Dict[str, Callable[[], SearchKernel]] = {}
+
+#: Singletons per registry name, so repeated resolution is allocation-free
+#: and kernel-internal caches (scratch buffers) persist across phases.
+_INSTANCES: Dict[str, SearchKernel] = {}
+
+
+def register_kernel(name: str, factory: Callable[[], SearchKernel]) -> None:
+    """Register (or replace) a kernel factory under ``name``."""
+    if not name:
+        raise ValueError("kernel name must be a non-empty string")
+    _REGISTRY[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def numpy_available() -> bool:
+    """Whether the optional numpy dependency is importable."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def kernel_available(name: str) -> bool:
+    """Whether :func:`get_kernel` would succeed for ``name``."""
+    if name in _REGISTRY or name in ("scalar", "auto"):
+        return True
+    if name == "vectorized":
+        return numpy_available()
+    return False
+
+
+def _build_vectorized() -> SearchKernel:
+    """Import and build the numpy kernel, translating the ImportError."""
+    try:
+        from . import vectorized
+    except ImportError as exc:
+        raise ImportError(_NUMPY_HINT) from exc
+    return vectorized.VectorizedKernel()
+
+
+def get_kernel(name: Optional[str] = None) -> SearchKernel:
+    """Resolve a kernel name to a (cached) kernel instance.
+
+    ``None`` resolves to :data:`DEFAULT_KERNEL`.  ``"auto"`` resolves to
+    ``vectorized`` when numpy is importable and silently falls back to
+    ``scalar`` otherwise — the graceful-degradation path portable configs
+    use.  Naming ``"vectorized"`` explicitly on a host without numpy
+    raises :class:`ImportError` with an actionable message instead.
+    """
+    if name is None:
+        name = DEFAULT_KERNEL
+    if name == "auto":
+        name = "vectorized" if numpy_available() else "scalar"
+    cached = _INSTANCES.get(name)
+    if cached is not None:
+        return cached
+    if name in _REGISTRY:
+        kernel = _REGISTRY[name]()
+    elif name == "scalar":
+        kernel = ScalarKernel()
+    elif name == "vectorized":
+        kernel = _build_vectorized()
+    else:
+        known = sorted(set(_REGISTRY) | set(KERNEL_NAMES))
+        raise ValueError(f"unknown kernel {name!r}; choose from {known}")
+    _INSTANCES[name] = kernel
+    return kernel
+
+
+def resolve_kernel(
+    kernel: Union[str, SearchKernel, None]
+) -> Optional[SearchKernel]:
+    """Normalize a kernel argument: name, instance, or None (= unset)."""
+    if kernel is None or isinstance(kernel, SearchKernel):
+        return kernel
+    return get_kernel(kernel)
+
+
+def registered_kernels() -> tuple:
+    """Every currently resolvable name: built-ins plus third-party."""
+    return tuple(dict.fromkeys(list(KERNEL_NAMES) + sorted(_REGISTRY)))

@@ -124,6 +124,7 @@ class Vertex:
         return offsets
 
     def is_root(self) -> bool:
+        """Whether this is the empty-schedule root (no assignment)."""
         return self.parent is None
 
     def path(self) -> List["Vertex"]:
@@ -137,6 +138,7 @@ class Vertex:
         return vertices
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Compact ``T[i]->Pk`` rendering for debugging and logs."""
         if self.is_root():
             return "Vertex(root)"
         return (
@@ -326,6 +328,13 @@ class CandidateList:
         self.dropped = 0
 
     def push_block(self, block: Iterable[Vertex]) -> None:
+        """Push one sibling block; ordering happens lazily via the heap.
+
+        Candidates are tagged with a global generation sequence so ties in
+        value pop in generation order, exactly like the pre-sorted stack
+        the reference implementation keeps.  May evict when ``max_size``
+        is exceeded (counted in :attr:`dropped`).
+        """
         seq = self._seq
         entries = [(vertex.value, seq + i, vertex) for i, vertex in enumerate(block)]
         self._seq = seq + len(entries)
@@ -361,6 +370,7 @@ class CandidateList:
                 overflow = 0
 
     def pop(self) -> Optional[Vertex]:
+        """Best candidate of the newest block, or None when empty."""
         blocks = self._blocks
         if not blocks:
             return None
@@ -372,9 +382,11 @@ class CandidateList:
         return vertex
 
     def __len__(self) -> int:
+        """Total candidates across all blocks."""
         return self._size
 
     def __bool__(self) -> bool:
+        """True while any candidate remains (cheaper than ``len``)."""
         return self._size > 0
 
 
@@ -394,6 +406,7 @@ class SearchBudget(ABC):
         """Whether the quantum has been fully consumed."""
 
     def remaining(self) -> float:
+        """Budget left, in the budget's time base (optional protocol)."""
         raise NotImplementedError
 
 
@@ -424,6 +437,7 @@ class VirtualTimeBudget(SearchBudget):
         self._consumed = 0.0
 
     def charge(self, vertices: int) -> None:
+        """Count candidates; cost is applied once in :meth:`used`."""
         self._vertices += vertices
 
     def consume(self, amount: float) -> None:
@@ -433,12 +447,15 @@ class VirtualTimeBudget(SearchBudget):
         self._consumed += amount
 
     def used(self) -> float:
+        """Virtual quanta consumed: one multiply, no drift per charge."""
         return self._vertices * self.per_vertex_cost + self._consumed
 
     def exhausted(self) -> bool:
+        """Quantum gone, with EPSILON guarding float-boundary admits."""
         return self.used() >= self.quantum - EPSILON
 
     def remaining(self) -> float:
+        """Virtual quanta left before :meth:`exhausted` flips."""
         if self.exhausted():
             return 0.0
         return max(0.0, self.quantum - self.used())
@@ -475,17 +492,21 @@ class WallClockBudget(SearchBudget):
         return self._start is not None
 
     def charge(self, vertices: int) -> None:
+        """Start the clock if needed and count the candidates."""
         self._start_clock()
         self.vertices_charged += vertices
 
     def used(self) -> float:
+        """Wall seconds since the clock started (starts it if needed)."""
         start = self._start_clock()
         return time.perf_counter() - start
 
     def exhausted(self) -> bool:
+        """Whether elapsed wall time has reached the quantum."""
         return self.used() >= self.quantum
 
     def remaining(self) -> float:
+        """Wall seconds left in the quantum."""
         return max(0.0, self.quantum - self.used())
 
 
@@ -505,6 +526,7 @@ class Expansion:
     exhaustive: bool = False
 
     def __bool__(self) -> bool:
+        """True when the expansion produced any feasible successor."""
         return bool(self.successors)
 
 
@@ -527,6 +549,7 @@ class Expander(ABC):
 
     @property
     def name(self) -> str:
+        """Human-readable representation name (class name)."""
         return type(self).__name__
 
 

@@ -1,0 +1,749 @@
+"""The ``vectorized`` search kernel: whole-frontier batch evaluation.
+
+This module is the numpy half of the kernel registry
+(:mod:`repro.core.kernels`).  It re-implements the phase search of
+:func:`repro.core.search.run_search` with the per-candidate arithmetic —
+the ``ce_k`` row math, the per-processor offset tuples, and the Figure-4
+feasibility test — expressed as array operations over a whole candidate
+frontier per step, instead of one Python-object vertex at a time.
+
+Where the time goes, and where it comes back
+--------------------------------------------
+
+The scalar hot path spends most of each expansion on per-candidate Python
+work: one :class:`~repro.core.search.Vertex` allocation, one evaluator
+call, one heap tuple, and one best-so-far comparison for each of the ``m``
+feasible candidates — almost all of which are never popped.  The batch
+kernel removes that entirely:
+
+* one ``(n, m)`` matrix ``p_l + c_lk`` is built per phase, so an expansion's
+  scheduled ends are a single row-plus-offsets addition;
+* the feasibility test is one vectorized comparison, and hopeless-task
+  scans (every processor infeasible) proceed in geometrically growing row
+  chunks instead of a per-task Python loop;
+* a block of sibling candidates is stored as flat arrays; a candidate is
+  materialized as a :class:`_Node` only when it is actually popped, and a
+  block is only argsorted if it is popped a second time (a stable argmin
+  serves the first pop).
+
+Bit-identicality contract
+-------------------------
+
+The kernel must be indistinguishable from the scalar path in everything
+but speed: identical schedules, identical
+:class:`~repro.core.search.SearchStats` counters, identical budget
+consumption, identical tie-breaking.  The load-bearing equivalences:
+
+* every float is produced by the *same* IEEE-754 operations on the *same*
+  operands in the *same* order as the scalar code (numpy float64 and
+  CPython floats share arithmetic), so values match bit-for-bit;
+* a stable ``argmin``/``argsort`` over a block equals the scalar heap's
+  ``(value, insertion order)`` pop order;
+* the scalar expander's best-case feasibility prune is *skipped* safely:
+  when it fires, monotonicity of float addition proves every candidate of
+  the probe infeasible, and the scalar code updates stats and budget
+  identically in the pruned and the scanned-empty branches — so computing
+  the full mask row changes nothing observable;
+* the ``VirtualTimeBudget`` mid-probe exhaustion check is replicated in
+  closed form (the predicate is monotone in the probe count), and any
+  other budget type falls back to a faithful per-probe loop.
+
+Anything the kernel does not recognise — a custom expander subclass, an
+evaluator without ``supports_batch`` — is delegated to the scalar
+:func:`~repro.core.search.run_search`, trading speed for guaranteed
+correctness.  ``tests/differential/test_kernel_differential.py`` and the
+golden fixtures enforce the contract end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .affinity import UniformCommunicationModel, ZeroCommunicationModel
+from .feasibility import EPSILON
+from .kernels import SearchKernel
+from .representations import (
+    AssignmentOrientedExpander,
+    SequenceOrientedExpander,
+)
+from .search import (
+    Expander,
+    PhaseContext,
+    SearchBudget,
+    SearchOutcome,
+    SearchStats,
+    Vertex,
+    VirtualTimeBudget,
+    make_root,
+    run_search,
+)
+
+#: Shared empty index array for expansions that prune no tasks.
+_EMPTY_INDICES = np.empty(0, dtype=np.intp)
+
+
+class _Node:
+    """A materialized (popped) vertex of the batch search.
+
+    Only popped candidates — and therefore only vertices that were actually
+    expanded, plus the final best — ever become objects; everything else
+    lives in its block's arrays.  ``hopeless`` records the tasks pruned by
+    the expansion that *produced* this node, which is exactly the set of
+    extra bits the scalar code ORs into the child's ``scheduled_mask``.
+    """
+
+    __slots__ = (
+        "parent",
+        "index",
+        "processor",
+        "depth",
+        "offsets",
+        "se",
+        "max_offset",
+        "value",
+        "unscheduled",
+        "hopeless",
+    )
+
+    def __init__(
+        self,
+        parent,
+        index,
+        processor,
+        depth,
+        offsets,
+        se,
+        max_offset,
+        value,
+        unscheduled,
+        hopeless,
+    ):
+        self.parent = parent
+        self.index = index
+        self.processor = processor
+        self.depth = depth
+        self.offsets = offsets
+        self.se = se
+        self.max_offset = max_offset
+        self.value = value
+        self.unscheduled = unscheduled
+        self.hopeless = hopeless
+
+
+class _Block:
+    """One pushed frontier of sibling candidates, stored as flat arrays.
+
+    Exactly one of three shapes:
+
+    * root block — ``node`` holds the pre-built root;
+    * assignment block — one ``task``, candidate ``procs`` vary;
+    * sequence block — one ``proc``, candidate ``tasks`` vary.
+
+    Pop order must equal the scalar heap's ``(value, insertion order)``
+    order.  The first pop is served by a cached stable ``argmin``
+    (``first``); re-popped blocks build a stable ``argsort`` once and walk
+    it, skipping entries recorded in ``popped`` (which doubles as the
+    eviction mechanism for the CL size bound).
+    """
+
+    __slots__ = (
+        "parent",
+        "node",
+        "task",
+        "procs",
+        "tasks",
+        "proc",
+        "ses",
+        "values",
+        "hopeless",
+        "child_unscheduled",
+        "first",
+        "order",
+        "rank",
+        "popped",
+        "live",
+    )
+
+    def __init__(
+        self,
+        parent,
+        node,
+        task,
+        procs,
+        tasks,
+        proc,
+        ses,
+        values,
+        hopeless,
+        child_unscheduled,
+        live,
+    ):
+        self.parent = parent
+        self.node = node
+        self.task = task
+        self.procs = procs
+        self.tasks = tasks
+        self.proc = proc
+        self.ses = ses
+        self.values = values
+        self.hopeless = hopeless
+        self.child_unscheduled = child_unscheduled
+        self.first = None
+        self.order = None
+        self.rank = 0
+        self.popped = None
+        self.live = live
+
+
+def _pop_node(block: _Block) -> _Node:
+    """Pop the best remaining candidate of ``block`` and materialize it."""
+    if block.node is not None:
+        block.live = 0
+        return block.node
+    values = block.values
+    popped = block.popped
+    if popped is None:
+        i = block.first
+        if i is None:
+            i = int(values.argmin()) if values.shape[0] > 1 else 0
+        block.popped = {i}
+    else:
+        order = block.order
+        if order is None:
+            order = block.order = values.argsort(kind="stable")
+        rank = block.rank
+        while True:
+            i = int(order[rank])
+            rank += 1
+            if i not in popped:
+                break
+        block.rank = rank
+        popped.add(i)
+    block.live -= 1
+    parent = block.parent
+    offsets = parent.offsets.copy()
+    if block.tasks is None:
+        index = block.task
+        processor = int(block.procs[i])
+        child_unscheduled = block.child_unscheduled
+    else:
+        index = int(block.tasks[i])
+        processor = block.proc
+        remaining = parent.unscheduled
+        child_unscheduled = remaining[remaining != index]
+    se = block.ses[i]
+    offsets[processor] = se
+    parent_max = parent.max_offset
+    return _Node(
+        parent,
+        index,
+        processor,
+        parent.depth + 1,
+        offsets,
+        se,
+        parent_max if parent_max >= se else se,
+        values[i],
+        child_unscheduled,
+        block.hopeless,
+    )
+
+
+def _evict(blocks: list, overflow: int) -> None:
+    """Drop ``overflow`` candidates, worst-of-oldest-block first.
+
+    Mirrors ``CandidateList._drop_oldest``: the oldest block loses its
+    worst-valued members (ties drop the latest insertion first — the tail
+    of a stable ascending sort), and whole blocks go once emptied.
+    """
+    while overflow and blocks:
+        oldest = blocks[0]
+        if oldest.live <= overflow:
+            overflow -= oldest.live
+            oldest.live = 0
+            del blocks[0]
+            continue
+        order = oldest.order
+        if order is None:
+            order = oldest.order = oldest.values.argsort(kind="stable")
+        popped = oldest.popped
+        if popped is None:
+            popped = oldest.popped = set()
+        j = order.shape[0] - 1
+        need = overflow
+        while need:
+            i = int(order[j])
+            j -= 1
+            if i not in popped:
+                popped.add(i)
+                need -= 1
+        oldest.live -= overflow
+        overflow = 0
+
+
+def _vt_probe_cap(budget: VirtualTimeBudget, m: int, cap: int) -> int:
+    """Largest probe count the scalar per-probe budget check would allow.
+
+    The scalar loop admits probe ``j >= 2`` iff the budget is not exhausted
+    after ``j - 1`` probes of ``m`` vertices each; for a virtual-time budget
+    that predicate is monotone in the probe count, so the window is computed
+    in closed form (estimate, then exact boundary adjustment — float
+    division may be off by a few ULPs) instead of per probe.  ``cap`` is
+    the caller's own bound (unscheduled count / ``max_task_probes``),
+    assumed >= 2; probe 1 is always admitted, exactly like the scalar loop.
+    """
+    per_vertex = budget.per_vertex_cost
+    base = budget._vertices
+    consumed = budget._consumed
+    limit = budget.quantum - EPSILON
+    if (base + m) * per_vertex + consumed >= limit:
+        return 1
+    t = int((limit - consumed) / per_vertex - base) // m
+    if t > cap - 1:
+        t = cap - 1
+    elif t < 1:
+        t = 1
+    while t > 1 and (base + t * m) * per_vertex + consumed >= limit:
+        t -= 1
+    while t < cap - 1 and (base + (t + 1) * m) * per_vertex + consumed < limit:
+        t += 1
+    return t + 1
+
+
+def _materialize(ref, ctx: PhaseContext, rows) -> Vertex:
+    """Build the scalar :class:`Vertex` chain for the best node found.
+
+    ``ref`` is either a :class:`_Node` or an un-popped ``(block, i)`` pair.
+    Every field is converted to the exact Python float / mask the scalar
+    path would have produced: scheduled ends and values come from the block
+    arrays, communication costs from the phase's ``(n, m)`` communication
+    matrix ``rows`` (the same float64 values ``ctx.comm_row`` yields,
+    without re-deriving a full row per path vertex), and each child's mask
+    ORs in the hopeless tasks of the expansion that produced it.
+    """
+    specs = []
+    if type(ref) is tuple:
+        block, i = ref
+        if block.tasks is None:
+            index = block.task
+            processor = int(block.procs[i])
+        else:
+            index = int(block.tasks[i])
+            processor = block.proc
+        se = block.ses[i]
+        parent_max = block.parent.max_offset
+        specs.append(
+            (
+                index,
+                processor,
+                se,
+                block.values[i],
+                parent_max if parent_max >= se else se,
+                block.hopeless,
+            )
+        )
+        node = block.parent
+    else:
+        node = ref
+    while node.parent is not None:
+        specs.append(
+            (
+                node.index,
+                node.processor,
+                node.se,
+                node.value,
+                node.max_offset,
+                node.hopeless,
+            )
+        )
+        node = node.parent
+    specs.reverse()
+    vertex = make_root(ctx.initial_offsets)
+    mask = 0
+    for index, processor, se, value, max_offset, hopeless in specs:
+        for pruned in hopeless:
+            mask |= 1 << int(pruned)
+        mask |= 1 << index
+        vertex = Vertex(
+            vertex,
+            index,
+            processor,
+            vertex.depth + 1,
+            mask,
+            None,
+            float(se),
+            float(rows[index, processor]),
+            float(value),
+            float(max_offset),
+        )
+    return vertex
+
+
+def _batch_search(
+    ctx: PhaseContext,
+    expander: Expander,
+    budget: SearchBudget,
+    max_candidates: Optional[int],
+    max_iterations: Optional[int],
+) -> SearchOutcome:
+    """The array-backed replica of :func:`repro.core.search.run_search`."""
+    n = ctx.n
+    m = ctx.num_processors
+    bound = ctx.phase_end_bound
+    evaluator = ctx.evaluator
+    tasks = ctx.tasks
+    # Per-phase arrays: pr[l, k] = p_l + c_lk with the exact floats of the
+    # scalar path; de carries the hoisted Figure-4 comparison constant
+    # d_l + EPSILON.  The two shipped communication models produce only the
+    # constants 0.0 / C, so their matrices are assembled directly; anything
+    # else goes through the same comm_row cache the scalar path fills.
+    comm = ctx.comm
+    if type(comm) is UniformCommunicationModel:
+        rows = np.full((n, m), comm.remote_cost, dtype=np.float64)
+        for i, task in enumerate(tasks):
+            if task.affinity:
+                affine = list(task.affinity)
+                if min(affine) < 0 or max(affine) >= m:
+                    affine = [k for k in affine if 0 <= k < m]
+                    if not affine:
+                        continue
+                rows[i, affine] = 0.0
+    elif type(comm) is ZeroCommunicationModel:
+        rows = np.zeros((n, m), dtype=np.float64)
+    else:
+        comm_row = ctx.comm_row
+        rows = np.array(
+            [comm_row(i)[0] for i in range(n)], dtype=np.float64
+        )
+    proc_times = np.fromiter(
+        (t.processing_time for t in tasks), np.float64, count=n
+    )
+    deadlines = np.fromiter((t.deadline for t in tasks), np.float64, count=n)
+    pr = proc_times[:, None] + rows
+    de = deadlines + EPSILON
+
+    assignment = type(expander) is AssignmentOrientedExpander
+    if assignment:
+        max_task_probes = expander.max_task_probes
+        all_procs = np.arange(m, dtype=np.intp)
+        beam = start_proc = 0
+    else:
+        max_task_probes = None
+        beam = expander.beam_width if expander.beam_width is not None else m
+        start_proc = expander.start_processor
+    virtual = type(budget) is VirtualTimeBudget
+    if virtual:
+        vt_cost = budget.per_vertex_cost
+        vt_limit = budget.quantum - EPSILON
+
+    root = _Node(
+        None,
+        -1,
+        -1,
+        0,
+        np.asarray(ctx.initial_offsets, dtype=np.float64),
+        0.0,
+        max(ctx.initial_offsets),
+        0.0,
+        np.arange(n, dtype=np.intp),
+        _EMPTY_INDICES,
+    )
+    blocks = [
+        _Block(None, root, None, None, None, None, None, None, None, None, 1)
+    ]
+    size = 1
+    dropped = 0
+    best_ref = root
+    best_depth = 0
+    best_value = 0.0
+    s_vertices = s_expansions = s_backtracks = s_probes = 0
+    s_rejections = s_pruned = 0
+    dead_end = complete = maximal = False
+    iterations = 0
+
+    while True:
+        # Inlined ``budget.exhausted()`` for the virtual-time fast path —
+        # same predicate, without a method call per iteration.
+        if virtual:
+            if budget._vertices * vt_cost + budget._consumed >= vt_limit:
+                break
+        elif budget.exhausted():
+            break
+        if max_iterations is not None and iterations >= max_iterations:
+            break
+        iterations += 1
+        if not blocks:
+            dead_end = True
+            break
+        top = blocks[-1]
+        node = _pop_node(top)
+        size -= 1
+        if top.live == 0:
+            blocks.pop()
+        if node.depth >= n:
+            best_ref = node
+            complete = True
+            break
+        unscheduled = node.unscheduled
+        remaining = unscheduled.shape[0]
+        offsets = node.offsets
+        if assignment:
+            # --- assignment-oriented expansion: scan tasks for the first
+            # with any feasible processor; the probe window replicates the
+            # scalar max_task_probes / budget truncation exactly.
+            procs = se_row = None
+            found = -1
+            if virtual:
+                window = remaining
+                if max_task_probes is not None and max_task_probes < window:
+                    window = max_task_probes
+                if (
+                    window > 1
+                    and (budget._vertices + window * m) * vt_cost
+                    + budget._consumed
+                    >= vt_limit
+                ):
+                    allowed = _vt_probe_cap(budget, m, window)
+                    if allowed < window:
+                        window = allowed
+                pos = 0
+                chunk = 1
+                while pos < window:
+                    end = pos + chunk
+                    if end > window:
+                        end = window
+                    if end - pos == 1:
+                        task = unscheduled[pos]
+                        row = pr[task] + offsets
+                        feas = (row + bound) <= de[task]
+                        if feas.all():
+                            found = pos
+                            found_task = task
+                            se_row = row
+                            procs = None
+                        else:
+                            hits = feas.nonzero()[0]
+                            if hits.shape[0]:
+                                found = pos
+                                found_task = task
+                                se_row = row
+                                procs = hits
+                    else:
+                        idx = unscheduled[pos:end]
+                        se_chunk = pr[idx] + offsets
+                        feas_chunk = (se_chunk + bound) <= de[idx][:, None]
+                        hit_rows = feas_chunk.any(axis=1).nonzero()[0]
+                        if hit_rows.shape[0]:
+                            r = int(hit_rows[0])
+                            found = pos + r
+                            found_task = idx[r]
+                            se_row = se_chunk[r]
+                            procs = feas_chunk[r].nonzero()[0]
+                    if found >= 0:
+                        break
+                    pos = end
+                    chunk <<= 3
+                probes = found + 1 if found >= 0 else window
+                budget._vertices += probes * m
+            else:
+                # Generic budgets (wall clock, custom): keep the scalar
+                # per-probe charge/exhausted call sequence verbatim.
+                probes = 0
+                exhausted = budget.exhausted
+                for pos in range(remaining):
+                    if (
+                        max_task_probes is not None
+                        and probes >= max_task_probes
+                    ):
+                        break
+                    if probes and exhausted():
+                        break
+                    probes += 1
+                    budget.charge(m)
+                    task = unscheduled[pos]
+                    row = pr[task] + offsets
+                    hits = ((row + bound) <= de[task]).nonzero()[0]
+                    if hits.shape[0]:
+                        found = pos
+                        found_task = task
+                        se_row = row
+                        procs = hits
+                        break
+            s_vertices += probes * m
+            s_probes += probes
+            s_expansions += 1
+            if found < 0:
+                s_rejections += probes * m
+                s_pruned += probes
+                if probes == remaining:
+                    # Exhaustive empty expansion: provably maximal vertex.
+                    if node.depth > best_depth or (
+                        node.depth == best_depth and node.value < best_value
+                    ):
+                        best_ref = node
+                        best_depth = node.depth
+                        best_value = node.value
+                    maximal = True
+                    break
+                s_backtracks += 1
+                continue
+            feas_count = m if procs is None else procs.shape[0]
+            s_rejections += found * m + (m - feas_count)
+            s_pruned += found
+            ses = se_row if feas_count == m else se_row[procs]
+            values = evaluator.evaluate_batch(
+                ctx, ses, node.max_offset, deadlines[found_task]
+            )
+            block = _Block(
+                node,
+                None,
+                int(found_task),
+                all_procs if feas_count == m else procs,
+                None,
+                None,
+                ses,
+                values,
+                unscheduled[:found] if found else _EMPTY_INDICES,
+                unscheduled[found + 1 :],
+                feas_count,
+            )
+        else:
+            # --- sequence-oriented expansion: round-robin processor,
+            # beam over the first unscheduled tasks; never exhaustive.
+            processor = (start_proc + node.depth) % m
+            idx = unscheduled if remaining <= beam else unscheduled[:beam]
+            probed = idx.shape[0]
+            if probed:
+                ses_all = pr[idx, processor] + offsets[processor]
+                feas = (ses_all + bound) <= de[idx]
+                feas_count = int(np.count_nonzero(feas))
+            else:
+                feas_count = 0
+            budget.charge(probed)
+            s_vertices += probed
+            if probed:
+                s_probes += 1
+            s_rejections += probed - feas_count
+            s_expansions += 1
+            if feas_count == 0:
+                s_backtracks += 1
+                continue
+            if feas_count == probed:
+                chosen = idx
+                ses = ses_all
+            else:
+                sel = feas.nonzero()[0]
+                chosen = idx[sel]
+                ses = ses_all[sel]
+            values = evaluator.evaluate_batch(
+                ctx, ses, node.max_offset, deadlines[chosen]
+            )
+            block = _Block(
+                node,
+                None,
+                None,
+                None,
+                chosen,
+                processor,
+                ses,
+                values,
+                _EMPTY_INDICES,
+                None,
+                feas_count,
+            )
+        blocks.append(block)
+        size += block.live
+        # Best-so-far: deeper wins, ties by strictly smaller value — the
+        # block's stable argmin is exactly the scalar generation-order scan.
+        child_depth = node.depth + 1
+        if child_depth >= best_depth:
+            first = int(block.values.argmin()) if block.live > 1 else 0
+            block.first = first
+            value = block.values[first]
+            if child_depth > best_depth or value < best_value:
+                best_ref = (block, first)
+                best_depth = child_depth
+                best_value = value
+        if max_candidates is not None and size > max_candidates:
+            overflow = size - max_candidates
+            _evict(blocks, overflow)
+            size -= overflow
+            dropped += overflow
+
+    best = _materialize(best_ref, ctx, rows)
+    stats = SearchStats(
+        vertices_generated=s_vertices,
+        expansions=s_expansions,
+        backtracks=s_backtracks,
+        task_probes=s_probes,
+        feasibility_rejections=s_rejections,
+        tasks_pruned=s_pruned,
+        dead_end=dead_end,
+        complete=complete,
+        maximal=maximal,
+        max_depth=best.depth,
+        processors_touched=len({v.processor for v in best.path()}),
+    )
+    return SearchOutcome(
+        best=best,
+        stats=stats,
+        time_used=min(budget.used(), ctx.quantum),
+        candidates_dropped=dropped,
+    )
+
+
+class VectorizedKernel(SearchKernel):
+    """Batch kernel: numpy frontier evaluation, bit-identical outcomes.
+
+    Engages only for the configurations it can replicate exactly — the two
+    built-in expanders (exact types, not subclasses) and evaluators with
+    ``supports_batch`` — and silently delegates everything else to the
+    scalar :func:`~repro.core.search.run_search`, so correctness never
+    depends on recognising a configuration.
+
+    Phases smaller than ``small_phase_cutoff`` tasks are also delegated:
+    array setup costs more than it saves there (pipeline phases are
+    frequently a handful of tasks), and the two kernels are bit-identical
+    by contract, so the routing is a pure performance heuristic.  Pass
+    ``small_phase_cutoff=0`` to force batching regardless of size (the
+    differential tests do, to guarantee they exercise the batch path).
+    """
+
+    name = "vectorized"
+
+    #: Phases with fewer tasks than this run on the scalar path.
+    SMALL_PHASE_CUTOFF = 64
+
+    def __init__(self, small_phase_cutoff: Optional[int] = None):
+        self.small_phase_cutoff = (
+            self.SMALL_PHASE_CUTOFF
+            if small_phase_cutoff is None
+            else small_phase_cutoff
+        )
+
+    def search(
+        self,
+        ctx: PhaseContext,
+        expander: Expander,
+        budget: SearchBudget,
+        max_candidates: Optional[int] = None,
+        max_iterations: Optional[int] = None,
+    ) -> SearchOutcome:
+        """Run one phase, batched when supported, scalar otherwise."""
+        if (
+            ctx.n >= max(self.small_phase_cutoff, 1)
+            and type(expander)
+            in (AssignmentOrientedExpander, SequenceOrientedExpander)
+            and getattr(ctx.evaluator, "supports_batch", False)
+        ):
+            return _batch_search(
+                ctx, expander, budget, max_candidates, max_iterations
+            )
+        return run_search(
+            ctx,
+            expander,
+            budget,
+            max_candidates=max_candidates,
+            max_iterations=max_iterations,
+        )

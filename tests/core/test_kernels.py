@@ -1,0 +1,237 @@
+"""Unit tests for the search-kernel registry (:mod:`repro.core.kernels`).
+
+Covers name resolution (including the ``auto`` fallback), the clean
+ImportError when the vectorized kernel is named without numpy, third-party
+registration, instance caching, config validation and cache-digest
+participation, and the vectorized kernel's small-phase delegation knob.
+Everything here runs on hosts without numpy; numpy-dependent checks skip
+themselves individually.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+import pytest
+
+from repro.core import kernels
+from repro.core.kernels import (
+    DEFAULT_KERNEL,
+    KERNEL_NAMES,
+    ScalarKernel,
+    SearchKernel,
+    get_kernel,
+    kernel_available,
+    numpy_available,
+    register_kernel,
+    registered_kernels,
+    resolve_kernel,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweep import config_digest
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="requires numpy (the [fast] extra)"
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_registry(monkeypatch):
+    """Each test gets private registry/instance tables."""
+    monkeypatch.setattr(kernels, "_REGISTRY", {})
+    monkeypatch.setattr(kernels, "_INSTANCES", {})
+
+
+class _StubKernel(SearchKernel):
+    name = "stub"
+
+    def search(self, ctx, expander, budget, max_candidates=None,
+               max_iterations=None):  # pragma: no cover - never run
+        raise AssertionError("stub kernel must not be executed")
+
+
+def test_default_is_scalar() -> None:
+    assert DEFAULT_KERNEL == "scalar"
+    assert isinstance(get_kernel(None), ScalarKernel)
+    assert isinstance(get_kernel("scalar"), ScalarKernel)
+
+
+def test_instances_are_cached_singletons() -> None:
+    assert get_kernel("scalar") is get_kernel("scalar")
+
+
+def test_unknown_name_lists_known_kernels() -> None:
+    with pytest.raises(ValueError, match="scalar"):
+        get_kernel("simd-avx512")
+
+
+def test_kernel_names_are_always_nameable() -> None:
+    # Every KERNEL_NAMES entry must be accepted by config validation and
+    # the CLI even when it cannot *resolve* (vectorized without numpy).
+    assert set(KERNEL_NAMES) == {"scalar", "vectorized", "auto"}
+    assert kernel_available("scalar")
+    assert kernel_available("auto")
+    assert kernel_available("vectorized") == numpy_available()
+    assert not kernel_available("simd-avx512")
+
+
+def test_auto_falls_back_to_scalar_without_numpy(monkeypatch) -> None:
+    monkeypatch.setattr(kernels, "numpy_available", lambda: False)
+    assert isinstance(get_kernel("auto"), ScalarKernel)
+
+
+@requires_numpy
+def test_auto_resolves_to_vectorized_with_numpy() -> None:
+    assert get_kernel("auto").name == "vectorized"
+
+
+def test_vectorized_without_numpy_raises_actionable_importerror(
+    monkeypatch,
+) -> None:
+    # Blocking the module in sys.modules makes `from . import vectorized`
+    # raise ImportError exactly as it would on a host without numpy.  The
+    # parent-package attribute must go too, or a previous import of the
+    # module in this process satisfies the `from . import` directly.
+    import repro.core
+
+    monkeypatch.setitem(sys.modules, "repro.core.vectorized", None)
+    monkeypatch.delattr(repro.core, "vectorized", raising=False)
+    with pytest.raises(ImportError, match=r"pip install.*fast"):
+        get_kernel("vectorized")
+
+
+def test_register_kernel_and_resolution() -> None:
+    register_kernel("stub", _StubKernel)
+    assert "stub" in registered_kernels()
+    assert isinstance(get_kernel("stub"), _StubKernel)
+    # Re-registration replaces the factory and drops the cached instance.
+    first = get_kernel("stub")
+    register_kernel("stub", _StubKernel)
+    assert get_kernel("stub") is not first
+
+
+def test_register_kernel_rejects_empty_name() -> None:
+    with pytest.raises(ValueError):
+        register_kernel("", _StubKernel)
+
+
+def test_resolve_kernel_passthrough() -> None:
+    assert resolve_kernel(None) is None
+    stub = _StubKernel()
+    assert resolve_kernel(stub) is stub
+    assert isinstance(resolve_kernel("scalar"), ScalarKernel)
+
+
+def test_scalar_kernel_matches_run_search() -> None:
+    from repro.core import (
+        AssignmentOrientedExpander,
+        LoadBalancingEvaluator,
+        PhaseContext,
+        UniformCommunicationModel,
+        VirtualTimeBudget,
+        make_task,
+        run_search,
+    )
+
+    rng = random.Random(5)
+    tasks = [
+        make_task(
+            tid,
+            processing_time=rng.uniform(5.0, 20.0),
+            deadline=rng.uniform(100.0, 400.0),
+        )
+        for tid in range(12)
+    ]
+
+    def outcome(search):
+        ctx = PhaseContext(
+            tasks=list(tasks),
+            num_processors=3,
+            comm=UniformCommunicationModel(10.0),
+            phase_start=0.0,
+            quantum=200.0,
+            initial_offsets=(0.0, 0.0, 0.0),
+            evaluator=LoadBalancingEvaluator(),
+        )
+        result = search(
+            ctx, AssignmentOrientedExpander(),
+            VirtualTimeBudget(quantum=200.0, per_vertex_cost=0.1),
+        )
+        return (
+            [(v.batch_index, v.processor) for v in result.best.path()],
+            result.stats.vertices_generated,
+        )
+
+    assert outcome(ScalarKernel().search) == outcome(run_search)
+
+
+def test_config_validates_kernel_names() -> None:
+    config = ExperimentConfig.quick(num_transactions=10, runs=1)
+    for name in KERNEL_NAMES:
+        assert config.with_kernel(name).kernel == name
+    with pytest.raises(ValueError, match="kernel"):
+        config.with_kernel("simd-avx512")
+
+
+def test_config_accepts_registered_third_party_kernel() -> None:
+    config = ExperimentConfig.quick(num_transactions=10, runs=1)
+    register_kernel("stub", _StubKernel)
+    assert config.with_kernel("stub").kernel == "stub"
+
+
+def test_kernel_enters_cache_digest() -> None:
+    """Kernel choice is part of the sweep cache key.
+
+    Kernels are bit-identical, so sharing a digest would be *safe* — but
+    a kernel sweep exists precisely to re-validate that claim, and its
+    cells must not shadow each other in the cache.
+    """
+    config = ExperimentConfig.quick(num_transactions=10, runs=1)
+    assert config_digest(config.with_kernel("scalar")) != config_digest(
+        config.with_kernel("vectorized")
+    )
+
+
+@requires_numpy
+def test_vectorized_small_phase_cutoff_default() -> None:
+    from repro.core.vectorized import VectorizedKernel
+
+    assert VectorizedKernel().small_phase_cutoff == 64
+    assert VectorizedKernel(small_phase_cutoff=7).small_phase_cutoff == 7
+
+
+@requires_numpy
+def test_vectorized_delegates_small_phases_to_scalar(monkeypatch) -> None:
+    """Below the cutoff the batch path must not engage at all."""
+    from repro.core import vectorized as vec_mod
+    from repro.core.vectorized import VectorizedKernel
+
+    def _boom(*args, **kwargs):  # pragma: no cover - defensive
+        raise AssertionError("batch path engaged below the cutoff")
+
+    monkeypatch.setattr(vec_mod, "_batch_search", _boom)
+    from repro.core import (
+        AssignmentOrientedExpander,
+        LoadBalancingEvaluator,
+        PhaseContext,
+        UniformCommunicationModel,
+        VirtualTimeBudget,
+        make_task,
+    )
+
+    ctx = PhaseContext(
+        tasks=[make_task(0, processing_time=5.0, deadline=100.0)],
+        num_processors=2,
+        comm=UniformCommunicationModel(1.0),
+        phase_start=0.0,
+        quantum=50.0,
+        initial_offsets=(0.0, 0.0),
+        evaluator=LoadBalancingEvaluator(),
+    )
+    outcome = VectorizedKernel().search(
+        ctx,
+        AssignmentOrientedExpander(),
+        VirtualTimeBudget(quantum=50.0, per_vertex_cost=0.1),
+    )
+    assert outcome.best.depth == 1

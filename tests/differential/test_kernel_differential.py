@@ -1,0 +1,339 @@
+"""Kernel differential tests: scalar vs vectorized, bit-for-bit.
+
+The vectorized kernel (:mod:`repro.core.vectorized`) promises *exact*
+equivalence with :func:`repro.core.search.run_search` — identical
+schedules, identical :class:`~repro.core.search.SearchStats` counters,
+identical budget consumption, identical tie-breaking.  This suite holds it
+to that promise:
+
+* targeted edge cases — empty frontier, single candidate, all-infeasible
+  prune, max-offset ties, exhausted budgets, tiny candidate-list bounds;
+* a seeded grid over expanders x evaluators x machine sizes;
+* a hypothesis property over random workloads x m in {2, 8, 16};
+* the committed golden fixtures, re-derived with ``kernel="vectorized"``
+  and required to come out byte-equal.
+
+Every fingerprint uses ``repr(float)`` — shortest-roundtrip digits — so a
+single ULP of drift anywhere fails.  The whole module self-skips on hosts
+without numpy (the ``fast`` extra).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+pytest.importorskip("numpy", reason="vectorized kernel requires numpy ([fast])")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AssignmentOrientedExpander,
+    LoadBalancingEvaluator,
+    PhaseContext,
+    SequenceOrientedExpander,
+    UniformCommunicationModel,
+    VirtualTimeBudget,
+    get_kernel,
+    make_task,
+    run_phase,
+    run_search,
+)
+from repro.core.affinity import ZeroCommunicationModel
+from repro.core.cost import (
+    EarliestFinishEvaluator,
+    FifoEvaluator,
+    MinSlackEvaluator,
+)
+from repro.core.vectorized import VectorizedKernel
+
+from ..integration.test_golden_fixtures import (
+    GOLDEN_DIR,
+    _golden_document,
+    _golden_name,
+)
+from .harness import random_batch, stats_fingerprint
+
+#: Cutoff 0 so even tiny phases run through the batch code under test
+#: (the production default delegates small phases to the scalar kernel).
+KERNEL = VectorizedKernel(small_phase_cutoff=0)
+
+EVALUATORS = (
+    LoadBalancingEvaluator,
+    EarliestFinishEvaluator,
+    MinSlackEvaluator,
+    FifoEvaluator,
+)
+
+
+def _outcome_fingerprint(outcome) -> tuple:
+    """Every observable bit of a search outcome, floats at full precision."""
+    path = tuple(
+        (
+            vertex.batch_index,
+            vertex.processor,
+            repr(vertex.scheduled_end),
+            repr(vertex.communication_cost),
+            repr(vertex.value),
+            repr(vertex.max_offset),
+            vertex.scheduled_mask,
+            vertex.depth,
+        )
+        for vertex in outcome.best.path()
+    )
+    return (
+        path,
+        stats_fingerprint(outcome.stats),
+        repr(outcome.time_used),
+        outcome.candidates_dropped,
+        tuple(repr(offset) for offset in outcome.best.proc_offsets),
+    )
+
+
+def _run_both(
+    tasks,
+    num_processors,
+    expander_factory,
+    evaluator_factory=LoadBalancingEvaluator,
+    quantum=200.0,
+    per_vertex_cost=0.05,
+    loads=None,
+    comm=None,
+    max_candidates=None,
+    max_iterations=None,
+    preconsumed=0.0,
+):
+    """One workload through both kernels; assert bit-identical outcomes.
+
+    Returns the scalar outcome so callers can assert the case actually
+    exercised what it meant to (depth, prune counters, ...).
+    """
+    offsets = loads if loads is not None else (0.0,) * num_processors
+    comm = comm if comm is not None else UniformCommunicationModel(40.0)
+    outcomes = []
+    budgets = []
+    for search in (run_search, KERNEL.search):
+        ctx = PhaseContext(
+            tasks=list(tasks),
+            num_processors=num_processors,
+            comm=comm,
+            phase_start=0.0,
+            quantum=quantum,
+            initial_offsets=offsets,
+            evaluator=evaluator_factory(),
+        )
+        budget = VirtualTimeBudget(
+            quantum=quantum, per_vertex_cost=per_vertex_cost
+        )
+        if preconsumed:
+            budget.consume(preconsumed)
+        outcomes.append(
+            search(
+                ctx,
+                expander_factory(),
+                budget,
+                max_candidates=max_candidates,
+                max_iterations=max_iterations,
+            )
+        )
+        budgets.append((budget._vertices, repr(budget.used())))
+    scalar, vectorized = outcomes
+    assert _outcome_fingerprint(scalar) == _outcome_fingerprint(vectorized)
+    assert budgets[0] == budgets[1]
+    return scalar
+
+
+EXPANDERS = (AssignmentOrientedExpander, SequenceOrientedExpander)
+
+
+@pytest.mark.parametrize("expander_factory", EXPANDERS)
+def test_empty_frontier(expander_factory) -> None:
+    """An empty batch: the root is final, no expansions on either side."""
+    outcome = _run_both([], 4, expander_factory)
+    assert outcome.stats.complete
+    assert outcome.stats.expansions <= 1
+    assert outcome.best.depth == 0
+
+
+@pytest.mark.parametrize("expander_factory", EXPANDERS)
+def test_single_candidate(expander_factory) -> None:
+    """One task, one processor: exactly one vertex either way."""
+    tasks = [make_task(0, processing_time=10.0, deadline=500.0)]
+    outcome = _run_both(tasks, 1, expander_factory)
+    assert outcome.best.depth == 1
+    assert outcome.stats.vertices_generated == 1
+
+
+@pytest.mark.parametrize("expander_factory", EXPANDERS)
+def test_all_infeasible_prune(expander_factory) -> None:
+    """Deadlines below the phase bound: every probe prunes, dead end."""
+    tasks = [
+        make_task(tid, processing_time=20.0, deadline=0.5)
+        for tid in range(6)
+    ]
+    outcome = _run_both(tasks, 3, expander_factory)
+    assert outcome.best.depth == 0
+    assert outcome.stats.feasibility_rejections > 0
+    if expander_factory is AssignmentOrientedExpander:
+        # The assignment expander scans (and prunes) every unscheduled
+        # task; the sequence expander dead-ends on the first EDF task.
+        assert outcome.stats.tasks_pruned == 6
+    else:
+        assert outcome.stats.dead_end
+
+
+@pytest.mark.parametrize("evaluator_factory", EVALUATORS)
+@pytest.mark.parametrize("expander_factory", EXPANDERS)
+def test_max_offset_ties(expander_factory, evaluator_factory) -> None:
+    """Identical tasks, zero comm, equal loads: every sibling ties.
+
+    The stable argmin/argsort inside the vectorized kernel must resolve
+    ties in generation order exactly like the scalar candidate list.
+    """
+    tasks = [
+        make_task(tid, processing_time=10.0, deadline=400.0)
+        for tid in range(8)
+    ]
+    outcome = _run_both(
+        tasks,
+        4,
+        expander_factory,
+        evaluator_factory,
+        comm=ZeroCommunicationModel(),
+    )
+    assert outcome.best.depth == 8
+
+
+@pytest.mark.parametrize("expander_factory", EXPANDERS)
+def test_exhausted_budget_and_preconsumption(expander_factory) -> None:
+    """Tight and partially consumed budgets truncate identically."""
+    rng = random.Random(7)
+    tasks = random_batch(rng, 30, 4)
+    for per_vertex_cost, preconsumed in (
+        (5.0, 0.0),
+        (0.5, 150.0),
+        (0.05, 199.9),
+    ):
+        _run_both(
+            tasks,
+            4,
+            expander_factory,
+            per_vertex_cost=per_vertex_cost,
+            preconsumed=preconsumed,
+        )
+
+
+@pytest.mark.parametrize("max_candidates", [1, 2, 5])
+@pytest.mark.parametrize("expander_factory", EXPANDERS)
+def test_tiny_candidate_list_bounds(expander_factory, max_candidates) -> None:
+    """Small CL caps force eviction; drop counts must match exactly."""
+    rng = random.Random(11)
+    tasks = random_batch(rng, 25, 3)
+    outcome = _run_both(
+        tasks, 3, expander_factory, max_candidates=max_candidates
+    )
+    assert outcome.stats.vertices_generated > 0
+
+
+@pytest.mark.parametrize("seed", range(12))
+@pytest.mark.parametrize("num_processors", [2, 8, 16])
+def test_seeded_grid(seed: int, num_processors: int) -> None:
+    """Random workloads across expanders x evaluators x machine sizes."""
+    rng = random.Random(90_000 + seed)
+    tasks = random_batch(rng, 20 + seed, num_processors)
+    expander_factory = EXPANDERS[seed % 2]
+    evaluator_factory = EVALUATORS[(seed + num_processors) % len(EVALUATORS)]
+    _run_both(
+        tasks,
+        num_processors,
+        expander_factory,
+        evaluator_factory,
+        quantum=(80.0, 200.0, 500.0)[seed % 3],
+        loads=tuple(rng.uniform(0.0, 15.0) for _ in range(num_processors)),
+        max_candidates=(None, 20, 4)[seed % 3],
+        max_iterations=None if seed % 4 else 40,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    num_processors=st.sampled_from([2, 8, 16]),
+    num_tasks=st.integers(min_value=0, max_value=30),
+    expander_index=st.integers(min_value=0, max_value=1),
+    evaluator_index=st.integers(min_value=0, max_value=3),
+)
+def test_property_scalar_equals_vectorized(
+    seed, num_processors, num_tasks, expander_index, evaluator_index
+) -> None:
+    """Hypothesis: for any random workload, the kernels agree exactly."""
+    rng = random.Random(seed)
+    tasks = random_batch(rng, num_tasks, num_processors)
+    _run_both(
+        tasks,
+        num_processors,
+        EXPANDERS[expander_index],
+        EVALUATORS[evaluator_index],
+        loads=tuple(
+            rng.uniform(0.0, 10.0) for _ in range(num_processors)
+        ),
+    )
+
+
+def test_run_phase_accepts_kernel() -> None:
+    """The phase loop (prefilter included) agrees across kernel spellings."""
+    rng = random.Random(3)
+    tasks = random_batch(rng, 30, 4)
+
+    def fingerprint(kernel):
+        result = run_phase(
+            tasks=list(tasks),
+            loads=(0.0, 1.0, 2.0, 3.0),
+            now=0.0,
+            quantum=200.0,
+            comm=UniformCommunicationModel(40.0),
+            expander=AssignmentOrientedExpander(),
+            evaluator=LoadBalancingEvaluator(),
+            kernel=kernel,
+        )
+        entries = tuple(
+            (entry.task.task_id, entry.processor, repr(entry.scheduled_end))
+            for entry in result.schedule
+        )
+        return entries, stats_fingerprint(result.stats), repr(result.time_used)
+
+    baseline = fingerprint(None)
+    assert fingerprint("scalar") == baseline
+    assert fingerprint("vectorized") == baseline
+    assert fingerprint("auto") == baseline
+    assert fingerprint(get_kernel("vectorized")) == baseline
+    assert fingerprint(KERNEL) == baseline
+
+
+#: The search-scheduler golden cells (one-pass list schedulers never
+#: enter the search kernel, so their goldens prove nothing here).
+GOLDEN_SEARCH_CELLS = [
+    ("rtsads", 3, 0.3, 2024),
+    ("rtsads", 8, 0.5, 2024),
+    ("dcols", 3, 0.3, 2024),
+    ("dcols", 8, 0.5, 2024),
+]
+
+
+@pytest.mark.parametrize("scheduler,m,replication,seed", GOLDEN_SEARCH_CELLS)
+def test_goldens_reproduced_with_vectorized_kernel(
+    scheduler: str, m: int, replication: float, seed: int
+) -> None:
+    """Full simulated runs under ``kernel="vectorized"`` must regenerate
+    the committed golden fixtures byte-for-byte."""
+    path = GOLDEN_DIR / _golden_name(scheduler, m, replication, seed)
+    assert path.exists(), f"golden fixture {path} missing"
+    regenerated = _golden_document(
+        scheduler, m, replication, seed, kernel="vectorized"
+    )
+    assert regenerated == path.read_text().rstrip("\n"), (
+        f"vectorized kernel diverged from the golden schedule in {path.name};"
+        " the kernels are bit-identical by contract, so this is a kernel bug,"
+        " not a fixture to regenerate"
+    )
